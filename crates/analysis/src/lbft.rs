@@ -1,0 +1,98 @@
+//! Appendix A: the leader bottleneck of LBFT protocols.
+
+use crate::ModelParams;
+
+/// The generic LBFT model: the leader disseminates every transaction to
+/// `n − 1` replicas, each non-leader processes it once.
+#[derive(Clone, Copy, Debug)]
+pub struct LbftModel {
+    /// Model parameters.
+    pub params: ModelParams,
+}
+
+impl LbftModel {
+    /// Creates the model.
+    pub fn new(params: ModelParams) -> Self {
+        LbftModel { params }
+    }
+
+    /// Leader workload per transaction, in bits (`W_l = B(n − 1)`).
+    pub fn leader_work_bits(&self, n: usize) -> f64 {
+        self.params.tx_bits * (n as f64 - 1.0)
+    }
+
+    /// Non-leader workload per transaction, in bits (`W_nl = B`).
+    pub fn non_leader_work_bits(&self) -> f64 {
+        self.params.tx_bits
+    }
+
+    /// Maximum throughput `T_max = C / (B(n − 1))` in transactions per
+    /// second.
+    pub fn max_throughput_tps(&self, n: usize) -> f64 {
+        let leader = self.params.capacity_bps / self.leader_work_bits(n);
+        let non_leader = self.params.capacity_bps / self.non_leader_work_bits();
+        leader.min(non_leader)
+    }
+}
+
+/// The PBFT-specific refinement including vote overhead and batching
+/// (Appendix A, second half).
+#[derive(Clone, Copy, Debug)]
+pub struct PbftModel {
+    /// Model parameters.
+    pub params: ModelParams,
+}
+
+impl PbftModel {
+    /// Creates the model.
+    pub fn new(params: ModelParams) -> Self {
+        PbftModel { params }
+    }
+
+    /// Maximum throughput with batching: proposals of `batch_bits` amortize
+    /// the `4(n − 1)σ` vote overhead over `batch_bits / B` transactions.
+    pub fn max_throughput_tps(&self, n: usize, batch_bits: f64) -> f64 {
+        let p = &self.params;
+        let nf = n as f64;
+        let leader_work = nf * batch_bits + 4.0 * (nf - 1.0) * p.vote_bits;
+        let non_leader_work = batch_bits + 4.0 * (nf - 1.0) * p.vote_bits;
+        let per_proposal = (p.capacity_bps / leader_work).min(p.capacity_bps / non_leader_work);
+        per_proposal * batch_bits / p.tx_bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn throughput_drops_inversely_with_n() {
+        let m = LbftModel::new(ModelParams::default());
+        let t4 = m.max_throughput_tps(4);
+        let t64 = m.max_throughput_tps(64);
+        // (n - 1) scaling: 63 / 3 = 21x drop.
+        assert!((t4 / t64 - 21.0).abs() < 0.1, "ratio {}", t4 / t64);
+    }
+
+    #[test]
+    fn leader_is_always_the_bottleneck() {
+        let m = LbftModel::new(ModelParams::default());
+        for n in [4usize, 16, 64, 256] {
+            assert!(m.leader_work_bits(n) > m.non_leader_work_bits());
+        }
+    }
+
+    #[test]
+    fn batching_helps_but_does_not_remove_the_1_over_n_scaling() {
+        let m = PbftModel::new(ModelParams::default());
+        let batch = 256.0 * 1024.0 * 8.0;
+        let small_batch = 4.0 * 1024.0 * 8.0;
+        // Larger batches amortize votes: more throughput at the same n.
+        assert!(m.max_throughput_tps(64, batch) > m.max_throughput_tps(64, small_batch));
+        // But scaling with n remains ~1/n for large batches.
+        let t16 = m.max_throughput_tps(16, batch);
+        let t128 = m.max_throughput_tps(128, batch);
+        let ratio = t16 / t128;
+        assert!(ratio > 6.0 && ratio < 10.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,60 @@
+//! Analytical throughput models from the paper's appendix.
+//!
+//! Appendix A derives the maximum throughput of a leader-based BFT
+//! protocol (LBFT) as a function of the per-replica processing capacity
+//! `C`, the transaction size `B`, the replica count `n`, and the vote
+//! size `σ` — showing that the leader's dissemination work makes
+//! throughput drop as `1/n` no matter how the commit phase is optimized.
+//! Appendix B repeats the analysis for a shared mempool, where
+//! dissemination is spread over all replicas, and derives the balanced
+//! optimum `η = (n − 2)γ` at which throughput approaches `C / 2B`.
+
+pub mod lbft;
+pub mod smp;
+
+pub use lbft::{LbftModel, PbftModel};
+pub use smp::SmpModel;
+
+/// Common model parameters.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ModelParams {
+    /// Per-replica processing capacity in bits per second.
+    pub capacity_bps: f64,
+    /// Transaction size in bits.
+    pub tx_bits: f64,
+    /// Vote / signature message size in bits.
+    pub vote_bits: f64,
+    /// Proposal size in bits (batch of transactions or ids).
+    pub proposal_bits: f64,
+}
+
+impl Default for ModelParams {
+    fn default() -> Self {
+        // 100 Mb/s of usable capacity, 128-byte transactions, 100-byte
+        // votes, 256 KB proposals — the WAN setting of the evaluation.
+        ModelParams {
+            capacity_bps: 100e6,
+            tx_bits: 128.0 * 8.0,
+            vote_bits: 100.0 * 8.0,
+            proposal_bits: 256.0 * 1024.0 * 8.0,
+        }
+    }
+}
+
+/// The theoretical upper bound `C / B` on any BFT protocol's throughput
+/// (every replica must at least receive every transaction once).
+pub fn absolute_upper_bound_tps(params: &ModelParams) -> f64 {
+    params.capacity_bps / params.tx_bits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn upper_bound_matches_capacity_over_tx_size() {
+        let p = ModelParams::default();
+        let bound = absolute_upper_bound_tps(&p);
+        assert!((bound - 100e6 / 1024.0).abs() < 1e-6);
+    }
+}

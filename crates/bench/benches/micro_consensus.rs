@@ -1,0 +1,46 @@
+//! Criterion micro-benchmarks of the consensus engines: a full
+//! empty-payload round on a small in-process network.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use smp_consensus::testkit::{drive_until_quiet, EngineNet};
+use smp_consensus::{HotStuffEngine, PbftEngine};
+use smp_types::{ReplicaId, SystemConfig};
+
+fn bench_hotstuff_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hotstuff_empty_rounds");
+    for &n in &[4usize, 16, 32] {
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = SystemConfig::new(n);
+                let engines =
+                    (0..n as u32).map(|i| HotStuffEngine::new(&config, ReplicaId(i))).collect();
+                let mut net: EngineNet<HotStuffEngine> = EngineNet::new(engines);
+                net.start();
+                drive_until_quiet(&mut net, 10);
+                net.committed_chains()[0].len()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_pbft_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pbft_empty_rounds");
+    for &n in &[4usize, 16] {
+        group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
+            b.iter(|| {
+                let config = SystemConfig::new(n);
+                let engines =
+                    (0..n as u32).map(|i| PbftEngine::new(&config, ReplicaId(i))).collect();
+                let mut net: EngineNet<PbftEngine> = EngineNet::new(engines);
+                net.start();
+                drive_until_quiet(&mut net, 10);
+                net.committed_chains()[0].len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hotstuff_rounds, bench_pbft_rounds);
+criterion_main!(benches);

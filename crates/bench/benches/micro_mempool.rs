@@ -1,0 +1,80 @@
+//! Criterion micro-benchmarks of the mempool hot paths: batching client
+//! transactions, building proposals, and the DLB estimator / sampler.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smp_mempool::{Mempool, SimpleSmp};
+use smp_types::{ClientId, MempoolConfig, ReplicaId, SystemConfig, Transaction};
+use stratus::{DlbConfig, LoadBalancer, StableTimeEstimator, StratusConfig, StratusMempool};
+
+fn txs(n: usize, base: u64) -> Vec<Transaction> {
+    (0..n).map(|i| Transaction::synthetic(ClientId(1), base + i as u64, 128, 0)).collect()
+}
+
+fn system() -> SystemConfig {
+    SystemConfig::new(16).with_mempool(MempoolConfig {
+        batch_size_bytes: 128 * 1024,
+        ..MempoolConfig::default()
+    })
+}
+
+fn bench_client_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mempool_ingest_1k_txs");
+    group.bench_function("stratus", |b| {
+        let sys = system();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seq = 0u64;
+        let mut mp = StratusMempool::new(&sys, StratusConfig::default(), ReplicaId(0));
+        b.iter(|| {
+            seq += 1_000;
+            mp.on_client_txs(seq, txs(1_000, seq), &mut rng)
+        })
+    });
+    group.bench_function("simple_smp", |b| {
+        let sys = system();
+        let mut rng = SmallRng::seed_from_u64(1);
+        let mut seq = 0u64;
+        let mut mp = SimpleSmp::new(&sys, ReplicaId(0));
+        b.iter(|| {
+            seq += 1_000;
+            mp.on_client_txs(seq, txs(1_000, seq), &mut rng)
+        })
+    });
+    group.finish();
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    c.bench_function("stable_time_estimator_record_and_query", |b| {
+        let mut est = StableTimeEstimator::new(100, 95.0, 2.0);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1;
+            est.record(100_000 + (t % 37) * 1_000);
+            (est.estimate(), est.is_busy())
+        })
+    });
+}
+
+fn bench_pod_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dlb_pod_sampling");
+    for &d in &[1usize, 2, 3] {
+        group.bench_with_input(BenchmarkId::new("d", d), &d, |b, &d| {
+            let mut lb = LoadBalancer::new(ReplicaId(0), 400, DlbConfig::default().with_d(d));
+            let mut rng = SmallRng::seed_from_u64(5);
+            let mb = smp_types::Microblock::seal(ReplicaId(0), txs(16, 0), 0);
+            b.iter(|| {
+                if let Some((token, targets)) = lb.start_sampling(mb.clone(), &mut rng) {
+                    for (i, t) in targets.iter().enumerate() {
+                        let _ = lb.on_load_info(token, *t, Some(1_000 + i as u64));
+                    }
+                }
+                lb.reset_banlist();
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_client_ingest, bench_estimator, bench_pod_sampling);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion micro-benchmarks of the PAB primitive: availability-proof
+//! generation, verification, and the push-phase ack path.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smp_crypto::{KeyPair, QuorumProof, Signature};
+use smp_types::{ClientId, Microblock, ReplicaId, Transaction};
+use stratus::PabEngine;
+
+fn microblock(txs: usize) -> Microblock {
+    let txs = (0..txs).map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0)).collect();
+    Microblock::seal(ReplicaId(0), txs, 0)
+}
+
+fn bench_proof_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pab_proof");
+    for &q in &[2usize, 11, 22, 45] {
+        let n = 3 * (q - 1) + 1;
+        let keys = KeyPair::derive_all(7, n.max(q + 1));
+        let mb = microblock(16);
+        group.bench_with_input(BenchmarkId::new("aggregate", q), &q, |b, &q| {
+            b.iter(|| {
+                let mut proof = QuorumProof::new(mb.id.digest());
+                for k in keys.iter().take(q) {
+                    proof.add(Signature::sign(&k.secret, &mb.id.digest()));
+                }
+                proof
+            })
+        });
+        let proof = QuorumProof::from_signatures(
+            mb.id.digest(),
+            keys.iter().take(q).map(|k| Signature::sign(&k.secret, &mb.id.digest())),
+        );
+        let pks: Vec<_> = keys.iter().map(|k| k.public).collect();
+        group.bench_with_input(BenchmarkId::new("verify", q), &q, |b, &q| {
+            b.iter(|| proof.verify(&pks, q).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_push_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pab_push_phase");
+    for &n in &[4usize, 16, 64] {
+        let quorum = (n - 1) / 3 + 1;
+        group.bench_with_input(BenchmarkId::new("acks_to_proof", n), &n, |b, &n| {
+            let mb = microblock(64);
+            b.iter(|| {
+                let mut engines: Vec<PabEngine> = (0..n as u32)
+                    .map(|i| PabEngine::new(7, n, ReplicaId(i), quorum, 0.5))
+                    .collect();
+                engines[0].start_push(&mb, 0, None);
+                let mut ready = None;
+                for i in 1..n {
+                    let ack = engines[i].ack_for(&mb.id);
+                    if let Some(r) = engines[0].on_ack(mb.id, ack, i as u64) {
+                        ready = Some(r);
+                        break;
+                    }
+                }
+                ready.expect("quorum reached")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fetch_target_selection(c: &mut Criterion) {
+    let n = 100;
+    let quorum = 34;
+    let keys = KeyPair::derive_all(7, n);
+    let mb = microblock(4);
+    let proof = QuorumProof::from_signatures(
+        mb.id.digest(),
+        keys.iter().take(quorum).map(|k| Signature::sign(&k.secret, &mb.id.digest())),
+    );
+    let engine = PabEngine::new(7, n, ReplicaId(99), quorum, 0.5);
+    let mut rng = SmallRng::seed_from_u64(3);
+    c.bench_function("pab_fetch_targets_n100", |b| {
+        b.iter(|| engine.fetch_targets(&proof, &[], &mut rng))
+    });
+}
+
+criterion_group!(benches, bench_proof_generation, bench_push_phase, bench_fetch_target_selection);
+criterion_main!(benches);

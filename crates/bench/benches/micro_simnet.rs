@@ -1,0 +1,56 @@
+//! Criterion micro-benchmarks of the discrete-event simulator itself:
+//! event throughput for broadcast-heavy workloads.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use simnet::{NetConfig, Node, NodeCtx, SimMessage, Simulation, TimerTag};
+use smp_types::ReplicaId;
+
+#[derive(Clone, Debug)]
+struct Ping(u64);
+impl SimMessage for Ping {
+    fn wire_size(&self) -> usize {
+        256
+    }
+    fn kind(&self) -> &'static str {
+        "ping"
+    }
+    fn cpu_cost_us(&self) -> f64 {
+        1.0
+    }
+}
+
+/// Every node rebroadcasts each ping it receives, up to a hop budget.
+struct Flooder;
+impl Node for Flooder {
+    type Msg = Ping;
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_, Ping>) {
+        if ctx.id() == ReplicaId(0) {
+            ctx.broadcast(Ping(3));
+        }
+    }
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_, Ping>, _from: ReplicaId, msg: Ping) {
+        if msg.0 > 0 {
+            ctx.broadcast(Ping(msg.0 - 1));
+        }
+    }
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_, Ping>, _tag: TimerTag) {}
+}
+
+fn bench_event_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simnet_flood");
+    group.sample_size(10);
+    for &n in &[16usize, 64] {
+        group.bench_with_input(BenchmarkId::new("nodes", n), &n, |b, &n| {
+            b.iter(|| {
+                let nodes = (0..n).map(|_| Flooder).collect();
+                let mut sim = Simulation::new(nodes, NetConfig::lan(), 1);
+                sim.run_until(10_000_000);
+                sim.events_processed()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_event_throughput);
+criterion_main!(benches);

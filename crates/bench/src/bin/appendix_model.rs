@@ -1,0 +1,34 @@
+//! Appendix A/B: the analytical throughput models, printed as the curves
+//! that motivate the shared-mempool design.
+
+use smp_analysis::{absolute_upper_bound_tps, LbftModel, ModelParams, PbftModel, SmpModel};
+use smp_bench::{header, Scale};
+
+fn main() {
+    let scale = Scale::from_args();
+    header("Appendix A/B — analytical throughput models", scale);
+    let params = ModelParams::default();
+    let lbft = LbftModel::new(params);
+    let pbft = PbftModel::new(params);
+    let smp = SmpModel::new(params);
+    let bound = absolute_upper_bound_tps(&params);
+
+    println!("parameters: C = {:.0} Mb/s, B = {:.0} bits, σ = {:.0} bits", params.capacity_bps / 1e6, params.tx_bits, params.vote_bits);
+    println!("absolute upper bound C/B = {:.0} tx/s\n", bound);
+    println!(
+        "{:>6} {:>16} {:>16} {:>18} {:>14}",
+        "n", "LBFT (tx/s)", "PBFT+batch", "SMP balanced", "SMP/LBFT"
+    );
+    for n in [4usize, 16, 64, 128, 256, 400] {
+        let l = lbft.max_throughput_tps(n);
+        let p = pbft.max_throughput_tps(n, 256.0 * 1024.0 * 8.0);
+        let s = smp.balanced_throughput_tps(n);
+        println!("{n:>6} {l:>16.0} {p:>16.0} {s:>18.0} {:>13.1}x", s / l);
+    }
+    println!("\nAppendix B balanced microblock size η = (n-2)γ:");
+    for n in [64usize, 128, 256] {
+        println!("  n = {n:>4}: η = {:.0} KB", smp.balanced_microblock_bits(n) / 8.0 / 1024.0);
+    }
+    println!("\nThe model shows LBFT throughput decaying as 1/(n-1) regardless of commit-phase");
+    println!("optimizations, while the shared mempool approaches C/2B — the motivation for Stratus.");
+}

@@ -1,0 +1,43 @@
+//! Figure 6: throughput vs latency for S-HS as the microblock batch size
+//! and the offered load vary (LAN, 128-byte payloads).
+
+use smp_bench::{header, Scale};
+use smp_replica::{run, ExperimentConfig, Protocol};
+use smp_types::MICROS_PER_SEC;
+
+fn main() {
+    let scale = Scale::from_args();
+    header("Figure 6 — throughput vs latency across batch sizes (S-HS, LAN)", scale);
+
+    // (network size, batch sizes) pairs as in the paper; quick mode scales
+    // the replica counts down but keeps the batch-size sweep.
+    let settings: Vec<(usize, Vec<usize>)> = scale.pick(
+        vec![(16, vec![32 * 1024, 64 * 1024, 128 * 1024]), (32, vec![128 * 1024, 256 * 1024, 512 * 1024])],
+        vec![
+            (128, vec![32 * 1024, 64 * 1024, 128 * 1024]),
+            (256, vec![128 * 1024, 256 * 1024, 512 * 1024]),
+        ],
+    );
+    let loads = scale.pick(vec![10_000.0, 40_000.0, 80_000.0], vec![20_000.0, 60_000.0, 120_000.0, 200_000.0]);
+
+    println!("\n{:<16} {:>12} {:>14} {:>12}", "setting", "offered tx/s", "KTx/s", "latency ms");
+    for (n, batches) in settings {
+        for batch in batches {
+            for load in &loads {
+                let cfg = ExperimentConfig::new(Protocol::StratusHotStuff, n, *load)
+                    .with_batch_size(batch)
+                    .with_duration(MICROS_PER_SEC, 4 * MICROS_PER_SEC);
+                let r = run(&cfg);
+                println!(
+                    "n{n}-b{:<6} {:>12.0} {:>14.2} {:>12.1}",
+                    batch / 1024 * 1024 / 1024,
+                    load,
+                    r.summary.throughput_ktps,
+                    r.summary.mean_latency_ms
+                );
+            }
+        }
+    }
+    println!("\nExpected shape: larger batches raise the achievable throughput (fewer acks per");
+    println!("transaction) at the cost of higher latency; larger networks need larger batches.");
+}

@@ -1,0 +1,317 @@
+//! The consensus-engine abstraction.
+//!
+//! Engines are event-driven state machines, exactly like the mempools: a
+//! handler receives an input (message, timer, payload, verification
+//! result) and returns [`CEffects`] — messages to send, timers to arm, and
+//! outputs for the surrounding replica (payload requests, proposals to
+//! verify, committed blocks, view changes).
+//!
+//! The mempool interaction follows the paper's Figure 1: when the engine
+//! becomes the leader it asks for a payload (`MakeProposal`); when it
+//! receives a proposal it hands it to the mempool for verification and
+//! filling (`FillProposal`) and only proceeds to vote once the mempool
+//! reports that consensus may continue.
+
+use serde::{Deserialize, Serialize};
+use smp_crypto::QuorumProof;
+use smp_types::{wire, BlockId, Payload, Proposal, ReplicaId, SimTime, View, WireSize};
+
+/// Message destination (mirrors the mempool's `Dest`; kept separate so the
+/// consensus crate does not depend on the mempool crate).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum CDest {
+    /// A single replica.
+    One(ReplicaId),
+    /// Every replica except the sender.
+    AllButSelf,
+}
+
+/// Consensus wire messages, shared by all engines (each engine uses the
+/// subset it needs).
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum ConsensusMsg {
+    /// A proposal (HotStuff/PBFT pre-prepare, Streamlet proposal,
+    /// MirBFT per-leader proposal).
+    Propose(Proposal),
+    /// A HotStuff vote, sent to the leader of the next view.
+    Vote {
+        /// View the vote belongs to.
+        view: View,
+        /// Voted block.
+        block: BlockId,
+        /// Voting replica.
+        voter: ReplicaId,
+    },
+    /// A PBFT prepare / Streamlet vote, broadcast to everyone.
+    Prepare {
+        /// View (or epoch) of the vote.
+        view: View,
+        /// Voted block.
+        block: BlockId,
+        /// Voting replica.
+        voter: ReplicaId,
+        /// Originating leader of the instance being voted on (used by the
+        /// multi-leader engine; equal to the view leader otherwise).
+        instance: ReplicaId,
+    },
+    /// A PBFT commit vote, broadcast to everyone.
+    Commit {
+        /// View of the vote.
+        view: View,
+        /// Voted block.
+        block: BlockId,
+        /// Voting replica.
+        voter: ReplicaId,
+        /// Originating leader of the instance being voted on.
+        instance: ReplicaId,
+    },
+    /// A pacemaker new-view message carrying the sender's highest QC view.
+    NewView {
+        /// The view being entered.
+        view: View,
+        /// Sender.
+        voter: ReplicaId,
+        /// Highest quorum-certificate view the sender knows.
+        high_qc_view: View,
+    },
+}
+
+impl ConsensusMsg {
+    /// Stable label for bandwidth accounting: proposals vs votes.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ConsensusMsg::Propose(_) => "proposal",
+            ConsensusMsg::Vote { .. }
+            | ConsensusMsg::Prepare { .. }
+            | ConsensusMsg::Commit { .. }
+            | ConsensusMsg::NewView { .. } => "vote",
+        }
+    }
+}
+
+impl WireSize for ConsensusMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            ConsensusMsg::Propose(p) => p.wire_size(),
+            ConsensusMsg::Vote { .. }
+            | ConsensusMsg::Prepare { .. }
+            | ConsensusMsg::Commit { .. }
+            | ConsensusMsg::NewView { .. } => wire::VOTE_BYTES,
+        }
+    }
+}
+
+/// Outputs from the engine to the surrounding replica.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CEvent {
+    /// The engine is the leader of `view` and wants a payload from the
+    /// mempool (`MakeProposal`).
+    NeedPayload {
+        /// View to propose in.
+        view: View,
+    },
+    /// An incoming proposal must be verified/filled by the mempool
+    /// (`FillProposal`) before the engine votes on it.
+    VerifyProposal {
+        /// The proposal to verify.
+        proposal: Proposal,
+    },
+    /// A proposal committed (total order decided at this replica).
+    Committed {
+        /// The committed proposal.
+        proposal: Proposal,
+    },
+    /// The engine abandoned a view (pacemaker timeout or invalid leader).
+    ViewChange {
+        /// The view that was abandoned.
+        abandoned: View,
+    },
+}
+
+/// Side effects of one engine handler invocation.
+#[derive(Clone, Debug, Default)]
+pub struct CEffects {
+    /// Messages to send.
+    pub msgs: Vec<(CDest, ConsensusMsg)>,
+    /// Timers to arm, as `(delay, tag)` pairs.
+    pub timers: Vec<(SimTime, u64)>,
+    /// Outputs for the replica.
+    pub events: Vec<CEvent>,
+}
+
+impl CEffects {
+    /// No effects.
+    pub fn none() -> Self {
+        CEffects::default()
+    }
+
+    /// Queues a unicast.
+    pub fn send(&mut self, to: ReplicaId, msg: ConsensusMsg) {
+        self.msgs.push((CDest::One(to), msg));
+    }
+
+    /// Queues a broadcast to every other replica.
+    pub fn broadcast(&mut self, msg: ConsensusMsg) {
+        self.msgs.push((CDest::AllButSelf, msg));
+    }
+
+    /// Arms a timer.
+    pub fn timer(&mut self, delay: SimTime, tag: u64) {
+        self.timers.push((delay, tag));
+    }
+
+    /// Emits an output event.
+    pub fn event(&mut self, ev: CEvent) {
+        self.events.push(ev);
+    }
+
+    /// Appends all effects of `other`.
+    pub fn merge(&mut self, other: CEffects) {
+        self.msgs.extend(other.msgs);
+        self.timers.extend(other.timers);
+        self.events.extend(other.events);
+    }
+}
+
+/// Result of the mempool's verification of a proposal, reported back to
+/// the engine by the replica.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProposalVerdict {
+    /// Vote on it.
+    Accept,
+    /// Reject it and treat the leader as faulty (view change).
+    Reject,
+}
+
+/// A leader-based BFT consensus engine.
+pub trait ConsensusEngine {
+    /// Called once at simulated time 0.
+    fn on_start(&mut self, now: SimTime) -> CEffects;
+
+    /// Handles a consensus message from another replica.
+    fn on_message(&mut self, now: SimTime, from: ReplicaId, msg: ConsensusMsg) -> CEffects;
+
+    /// Handles a timer armed by a previous handler.
+    fn on_timer(&mut self, now: SimTime, tag: u64) -> CEffects;
+
+    /// Supplies the payload requested by a previous
+    /// [`CEvent::NeedPayload`].
+    fn on_payload(&mut self, now: SimTime, view: View, payload: Payload) -> CEffects;
+
+    /// Reports the mempool's verdict on a proposal previously emitted via
+    /// [`CEvent::VerifyProposal`].  For Stratus this is called immediately;
+    /// for best-effort mempools it may arrive much later (after missing
+    /// microblocks were fetched).
+    fn on_proposal_verdict(
+        &mut self,
+        now: SimTime,
+        block: BlockId,
+        verdict: ProposalVerdict,
+    ) -> CEffects;
+
+    /// The replica this engine runs on.
+    fn id(&self) -> ReplicaId;
+
+    /// The current view (or epoch).
+    fn current_view(&self) -> View;
+
+    /// Number of proposals committed so far.
+    fn committed_count(&self) -> u64;
+}
+
+/// A quorum certificate: `2f + 1` votes over a block id.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct QuorumCert {
+    /// Certified block.
+    pub block: BlockId,
+    /// View in which the block was certified.
+    pub view: View,
+    /// Aggregated vote signatures (modelled, not re-verified on the hot
+    /// path — the wire cost is what matters to the evaluation).
+    pub proof: QuorumProof,
+}
+
+impl QuorumCert {
+    /// The genesis certificate.
+    pub fn genesis() -> Self {
+        QuorumCert { block: BlockId::GENESIS, view: View(0), proof: QuorumProof::default() }
+    }
+}
+
+/// Tracks votes per (view, block) until a quorum is reached.
+#[derive(Clone, Debug, Default)]
+pub struct VoteAggregator {
+    votes: std::collections::HashMap<(View, BlockId), std::collections::BTreeSet<ReplicaId>>,
+    reached: std::collections::HashSet<(View, BlockId)>,
+}
+
+impl VoteAggregator {
+    /// Creates an empty aggregator.
+    pub fn new() -> Self {
+        VoteAggregator::default()
+    }
+
+    /// Records a vote; returns `true` exactly once, when `quorum` distinct
+    /// voters have been seen for `(view, block)`.
+    pub fn record(&mut self, view: View, block: BlockId, voter: ReplicaId, quorum: usize) -> bool {
+        if self.reached.contains(&(view, block)) {
+            return false;
+        }
+        let set = self.votes.entry((view, block)).or_default();
+        set.insert(voter);
+        if set.len() >= quorum {
+            self.reached.insert((view, block));
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of votes currently recorded for `(view, block)`.
+    pub fn count(&self, view: View, block: BlockId) -> usize {
+        self.votes.get(&(view, block)).map_or(0, |s| s.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_crypto::Digest;
+
+    #[test]
+    fn vote_aggregator_reaches_quorum_once() {
+        let mut agg = VoteAggregator::new();
+        let b = BlockId(Digest::of_u64(1));
+        assert!(!agg.record(View(1), b, ReplicaId(0), 3));
+        assert!(!agg.record(View(1), b, ReplicaId(0), 3), "duplicate voter ignored");
+        assert!(!agg.record(View(1), b, ReplicaId(1), 3));
+        assert!(agg.record(View(1), b, ReplicaId(2), 3));
+        assert!(!agg.record(View(1), b, ReplicaId(3), 3), "quorum reported only once");
+        assert_eq!(agg.count(View(1), b), 3);
+    }
+
+    #[test]
+    fn consensus_msg_kinds_and_sizes() {
+        let p = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, true);
+        assert_eq!(ConsensusMsg::Propose(p.clone()).kind(), "proposal");
+        let vote = ConsensusMsg::Vote { view: View(1), block: p.id, voter: ReplicaId(1) };
+        assert_eq!(vote.kind(), "vote");
+        assert_eq!(vote.wire_size(), wire::VOTE_BYTES);
+        assert!(ConsensusMsg::Propose(p).wire_size() >= wire::PROPOSAL_HEADER_BYTES);
+    }
+
+    #[test]
+    fn effects_builders() {
+        let mut fx = CEffects::none();
+        fx.send(ReplicaId(1), ConsensusMsg::NewView { view: View(2), voter: ReplicaId(0), high_qc_view: View(1) });
+        fx.broadcast(ConsensusMsg::NewView { view: View(2), voter: ReplicaId(0), high_qc_view: View(1) });
+        fx.timer(100, 7);
+        fx.event(CEvent::ViewChange { abandoned: View(1) });
+        let mut other = CEffects::none();
+        other.timer(200, 8);
+        fx.merge(other);
+        assert_eq!(fx.msgs.len(), 2);
+        assert_eq!(fx.timers.len(), 2);
+        assert_eq!(fx.events.len(), 1);
+    }
+}

@@ -1,0 +1,415 @@
+//! Chained HotStuff (three-chain commit rule, rotating leaders, pacemaker).
+//!
+//! This is the "Chained-HotStuff" configuration the paper bases its
+//! evaluation on (Section VII-A): pipelined proposals, a leader per view,
+//! votes sent to the *next* leader (linear message complexity), and a
+//! three-chain commit rule.  The view-change pacemaker is timeout-driven:
+//! a replica that makes no progress within the view timeout broadcasts a
+//! new-view message to the next leader, which proposes once it has heard
+//! from a quorum.
+
+use crate::api::{
+    CEffects, CEvent, ConsensusEngine, ConsensusMsg, ProposalVerdict, QuorumCert, VoteAggregator,
+};
+use smp_crypto::QuorumProof;
+use smp_types::{BlockId, Payload, Proposal, ReplicaId, SimTime, SystemConfig, View};
+use std::collections::{HashMap, HashSet};
+
+/// Timer-tag base for per-view pacemaker timers (`tag = base + view`).
+pub const VIEW_TAG_BASE: u64 = 0x4854_5300_0000_0000;
+
+/// Chained HotStuff engine.
+#[derive(Clone, Debug)]
+pub struct HotStuffEngine {
+    me: ReplicaId,
+    n: usize,
+    quorum: usize,
+    view: View,
+    view_timeout: SimTime,
+    high_qc: QuorumCert,
+    blocks: HashMap<BlockId, Proposal>,
+    votes: VoteAggregator,
+    new_views: VoteAggregator,
+    committed: HashSet<BlockId>,
+    committed_count: u64,
+    proposed_in: HashSet<View>,
+    payload_requested_for: HashSet<View>,
+    view_changes: u64,
+}
+
+impl HotStuffEngine {
+    /// Creates the engine for replica `me`.
+    pub fn new(config: &SystemConfig, me: ReplicaId) -> Self {
+        HotStuffEngine {
+            me,
+            n: config.n,
+            quorum: config.consensus_quorum(),
+            view: View(1),
+            view_timeout: config.view_change_timeout,
+            high_qc: QuorumCert::genesis(),
+            blocks: HashMap::new(),
+            votes: VoteAggregator::new(),
+            new_views: VoteAggregator::new(),
+            committed: HashSet::new(),
+            committed_count: 0,
+            proposed_in: HashSet::new(),
+            payload_requested_for: HashSet::new(),
+            view_changes: 0,
+        }
+    }
+
+    /// Number of view changes this replica initiated.
+    pub fn view_changes(&self) -> u64 {
+        self.view_changes
+    }
+
+    fn leader_of(&self, view: View) -> ReplicaId {
+        view.leader(self.n)
+    }
+
+    fn is_leader(&self, view: View) -> bool {
+        self.leader_of(view) == self.me
+    }
+
+    fn arm_view_timer(&self, effects: &mut CEffects) {
+        effects.timer(self.view_timeout, VIEW_TAG_BASE + self.view.0);
+    }
+
+    fn request_payload_if_leader(&mut self, view: View, effects: &mut CEffects) {
+        if self.is_leader(view)
+            && !self.proposed_in.contains(&view)
+            && self.payload_requested_for.insert(view)
+        {
+            effects.event(CEvent::NeedPayload { view });
+        }
+    }
+
+    fn advance_to(&mut self, view: View, effects: &mut CEffects) {
+        if view <= self.view {
+            return;
+        }
+        self.view = view;
+        self.arm_view_timer(effects);
+        // Note: entering a view does NOT by itself entitle the leader to
+        // propose — it must first hold a QC for the previous view (formed
+        // from votes) or a quorum of new-view messages.  Requesting the
+        // payload here would fork the chain off an outdated high QC.
+    }
+
+    fn height_of(&self, block: &BlockId) -> u64 {
+        if *block == BlockId::GENESIS {
+            0
+        } else {
+            self.blocks.get(block).map_or(0, |p| p.height)
+        }
+    }
+
+    /// Applies the three-chain commit rule after `parent` (the block the
+    /// newly accepted proposal extends) received a quorum certificate.
+    fn try_commit(&mut self, parent: BlockId, effects: &mut CEffects) {
+        let Some(b1) = self.blocks.get(&parent).cloned() else { return };
+        let Some(b2) = self.blocks.get(&b1.parent).cloned() else { return };
+        let Some(b3) = self.blocks.get(&b2.parent).cloned() else { return };
+        // Three consecutive views certify the oldest block of the chain.
+        if b1.view.0 != b2.view.0 + 1 || b2.view.0 != b3.view.0 + 1 {
+            return;
+        }
+        self.commit_chain(b3, effects);
+    }
+
+    /// Commits `tip` and every uncommitted ancestor, oldest first.
+    fn commit_chain(&mut self, tip: Proposal, effects: &mut CEffects) {
+        let mut chain = Vec::new();
+        let mut cursor = Some(tip);
+        while let Some(p) = cursor {
+            if self.committed.contains(&p.id) {
+                break;
+            }
+            cursor = self.blocks.get(&p.parent).cloned();
+            chain.push(p);
+        }
+        for p in chain.into_iter().rev() {
+            self.committed.insert(p.id);
+            self.committed_count += 1;
+            effects.event(CEvent::Committed { proposal: p });
+        }
+    }
+
+    fn vote_for(&mut self, proposal: &Proposal, effects: &mut CEffects) {
+        let next_leader = self.leader_of(proposal.view.next());
+        effects.send(
+            next_leader,
+            ConsensusMsg::Vote { view: proposal.view, block: proposal.id, voter: self.me },
+        );
+        // Receiving a valid proposal for view v is the signal to move to
+        // view v + 1 (optimistic responsiveness).
+        self.advance_to(proposal.view.next(), effects);
+    }
+}
+
+impl ConsensusEngine for HotStuffEngine {
+    fn on_start(&mut self, _now: SimTime) -> CEffects {
+        let mut fx = CEffects::none();
+        self.arm_view_timer(&mut fx);
+        self.request_payload_if_leader(self.view, &mut fx);
+        fx
+    }
+
+    fn on_message(&mut self, _now: SimTime, from: ReplicaId, msg: ConsensusMsg) -> CEffects {
+        let mut fx = CEffects::none();
+        match msg {
+            ConsensusMsg::Propose(p) => {
+                // Only the legitimate leader of the proposal's view counts.
+                if p.proposer != self.leader_of(p.view) || p.view < self.view {
+                    return fx;
+                }
+                if self.blocks.contains_key(&p.id) {
+                    return fx;
+                }
+                self.blocks.insert(p.id, p.clone());
+                // The parent now has a quorum certificate (embedded in the
+                // proposal); remember it and try to commit the three-chain.
+                if self.height_of(&p.parent) + 1 == p.height && p.view > self.high_qc.view {
+                    self.high_qc = QuorumCert {
+                        block: p.parent,
+                        view: View(p.view.0.saturating_sub(1)),
+                        proof: QuorumProof::default(),
+                    };
+                }
+                self.try_commit(p.parent, &mut fx);
+                // Hand the proposal to the mempool before voting.
+                fx.event(CEvent::VerifyProposal { proposal: p });
+            }
+            ConsensusMsg::Vote { view, block, voter } => {
+                // Votes for view v are collected by the leader of v + 1.
+                if !self.is_leader(view.next()) {
+                    return fx;
+                }
+                if self.votes.record(view, block, voter, self.quorum) {
+                    if view >= self.high_qc.view {
+                        self.high_qc =
+                            QuorumCert { block, view, proof: QuorumProof::default() };
+                    }
+                    self.advance_to(view.next(), &mut fx);
+                    self.request_payload_if_leader(view.next(), &mut fx);
+                }
+            }
+            ConsensusMsg::NewView { view, voter, high_qc_view: _ } => {
+                if !self.is_leader(view) {
+                    return fx;
+                }
+                if self.new_views.record(view, BlockId::GENESIS, voter, self.quorum) {
+                    self.advance_to(view, &mut fx);
+                    self.request_payload_if_leader(view, &mut fx);
+                }
+            }
+            ConsensusMsg::Prepare { .. } | ConsensusMsg::Commit { .. } => {
+                // Not used by HotStuff.
+            }
+        }
+        let _ = from;
+        fx
+    }
+
+    fn on_timer(&mut self, _now: SimTime, tag: u64) -> CEffects {
+        let mut fx = CEffects::none();
+        if tag < VIEW_TAG_BASE {
+            return fx;
+        }
+        let timer_view = View(tag - VIEW_TAG_BASE);
+        if timer_view != self.view {
+            return fx; // Stale timer from a view we already left.
+        }
+        // No progress in this view: move on and tell the next leader.
+        let abandoned = self.view;
+        self.view_changes += 1;
+        fx.event(CEvent::ViewChange { abandoned });
+        self.view = self.view.next();
+        self.arm_view_timer(&mut fx);
+        let next_leader = self.leader_of(self.view);
+        let msg = ConsensusMsg::NewView {
+            view: self.view,
+            voter: self.me,
+            high_qc_view: self.high_qc.view,
+        };
+        if next_leader == self.me {
+            // Count our own new-view message immediately.
+            if self.new_views.record(self.view, BlockId::GENESIS, self.me, self.quorum) {
+                self.request_payload_if_leader(self.view, &mut fx);
+            }
+        } else {
+            fx.send(next_leader, msg);
+        }
+        fx
+    }
+
+    fn on_payload(&mut self, _now: SimTime, view: View, payload: Payload) -> CEffects {
+        let mut fx = CEffects::none();
+        if view != self.view || !self.is_leader(view) || self.proposed_in.contains(&view) {
+            return fx;
+        }
+        self.proposed_in.insert(view);
+        let parent = self.high_qc.block;
+        let height = self.height_of(&parent) + 1;
+        let proposal = Proposal::new(view, height, parent, self.me, payload, true);
+        self.blocks.insert(proposal.id, proposal.clone());
+        self.try_commit(parent, &mut fx);
+        fx.broadcast(ConsensusMsg::Propose(proposal.clone()));
+        // The leader votes for its own proposal.
+        self.vote_for(&proposal, &mut fx);
+        fx
+    }
+
+    fn on_proposal_verdict(
+        &mut self,
+        _now: SimTime,
+        block: BlockId,
+        verdict: ProposalVerdict,
+    ) -> CEffects {
+        let mut fx = CEffects::none();
+        let Some(proposal) = self.blocks.get(&block).cloned() else { return fx };
+        match verdict {
+            ProposalVerdict::Accept => {
+                if proposal.view.0 + 1 >= self.view.0 {
+                    self.vote_for(&proposal, &mut fx);
+                }
+            }
+            ProposalVerdict::Reject => {
+                self.view_changes += 1;
+                fx.event(CEvent::ViewChange { abandoned: proposal.view });
+                let next = proposal.view.next();
+                if next > self.view {
+                    self.view = next;
+                    self.arm_view_timer(&mut fx);
+                }
+                fx.send(
+                    self.leader_of(self.view),
+                    ConsensusMsg::NewView {
+                        view: self.view,
+                        voter: self.me,
+                        high_qc_view: self.high_qc.view,
+                    },
+                );
+            }
+        }
+        fx
+    }
+
+    fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    fn current_view(&self) -> View {
+        self.view
+    }
+
+    fn committed_count(&self) -> u64 {
+        self.committed_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{drive_until_quiet, EngineNet};
+
+    fn net(n: usize) -> EngineNet<HotStuffEngine> {
+        let config = SystemConfig::new(n);
+        EngineNet::new((0..n as u32).map(|i| HotStuffEngine::new(&config, ReplicaId(i))).collect())
+    }
+
+    #[test]
+    fn leader_of_view_one_requests_payload_on_start() {
+        let config = SystemConfig::new(4);
+        let mut e = HotStuffEngine::new(&config, ReplicaId(1));
+        let fx = e.on_start(0);
+        assert!(fx.events.iter().any(|ev| matches!(ev, CEvent::NeedPayload { view } if *view == View(1))));
+        let mut e0 = HotStuffEngine::new(&config, ReplicaId(0));
+        let fx0 = e0.on_start(0);
+        assert!(!fx0.events.iter().any(|ev| matches!(ev, CEvent::NeedPayload { .. })));
+    }
+
+    #[test]
+    fn chain_commits_after_three_consecutive_views() {
+        let mut net = net(4);
+        net.start();
+        // Let the network run several rounds with empty payloads.
+        drive_until_quiet(&mut net, 30);
+        let committed = net.engines().iter().map(|e| e.committed_count()).min().unwrap();
+        assert!(committed >= 1, "pipelined empty proposals should commit, got {committed}");
+        // All replicas commit the same prefix.
+        let chains = net.committed_chains();
+        let shortest = chains.iter().map(|c| c.len()).min().unwrap();
+        for i in 0..shortest {
+            let first = chains[0][i];
+            assert!(chains.iter().all(|c| c[i] == first), "divergence at height {i}");
+        }
+    }
+
+    #[test]
+    fn progress_resumes_after_leader_timeout() {
+        // Five replicas: with the view-1 leader silent, views 2..5 still
+        // give the three consecutive honest-leader views plus the follow-up
+        // proposal that the chained commit rule needs.
+        let mut net = net(5);
+        net.start();
+        // Silence replica 1 (the leader of view 1 is replica 1).
+        net.silence(ReplicaId(1));
+        for _ in 0..5 {
+            drive_until_quiet(&mut net, 40);
+            net.fire_view_timers();
+        }
+        drive_until_quiet(&mut net, 60);
+        let committed = net
+            .engines()
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| *i != 1)
+            .map(|(_, e)| e.committed_count())
+            .min()
+            .unwrap();
+        assert!(committed >= 1, "view change should restore progress, got {committed}");
+        assert!(net.engines()[0].view_changes() >= 1);
+    }
+
+    #[test]
+    fn rejected_proposals_do_not_get_votes() {
+        let config = SystemConfig::new(4);
+        let mut leader = HotStuffEngine::new(&config, ReplicaId(1));
+        let mut follower = HotStuffEngine::new(&config, ReplicaId(2));
+        let _ = leader.on_start(0);
+        let _ = follower.on_start(0);
+        let fx = leader.on_payload(0, View(1), Payload::Empty);
+        let proposal = fx
+            .msgs
+            .iter()
+            .find_map(|(_, m)| match m {
+                ConsensusMsg::Propose(p) => Some(p.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let fx = follower.on_message(1, ReplicaId(1), ConsensusMsg::Propose(proposal.clone()));
+        assert!(fx.events.iter().any(|e| matches!(e, CEvent::VerifyProposal { .. })));
+        let fx = follower.on_proposal_verdict(2, proposal.id, ProposalVerdict::Reject);
+        assert!(fx.events.iter().any(|e| matches!(e, CEvent::ViewChange { .. })));
+        assert!(!fx.msgs.iter().any(|(_, m)| matches!(m, ConsensusMsg::Vote { .. })));
+    }
+
+    #[test]
+    fn stale_proposals_and_foreign_votes_are_ignored() {
+        let config = SystemConfig::new(4);
+        let mut e = HotStuffEngine::new(&config, ReplicaId(3));
+        let _ = e.on_start(0);
+        // A proposal from a non-leader is dropped.
+        let bogus = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(2), Payload::Empty, true);
+        let fx = e.on_message(0, ReplicaId(2), ConsensusMsg::Propose(bogus));
+        assert!(fx.events.is_empty());
+        // A vote addressed to a different next-leader is dropped.
+        let fx = e.on_message(
+            0,
+            ReplicaId(0),
+            ConsensusMsg::Vote { view: View(1), block: BlockId::GENESIS, voter: ReplicaId(0) },
+        );
+        assert!(fx.events.is_empty() && fx.msgs.is_empty());
+    }
+}

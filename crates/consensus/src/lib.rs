@@ -1,0 +1,33 @@
+//! Leader-based BFT consensus engines for the Stratus reproduction.
+//!
+//! The paper integrates its shared mempool with three off-the-shelf
+//! leader-based protocols — HotStuff, PBFT and Streamlet — and compares
+//! against MirBFT as a multi-leader baseline.  This crate provides all
+//! four as event-driven [`ConsensusEngine`]s that are *mempool-agnostic*:
+//! they ask the surrounding replica for a payload when they lead a view
+//! and hand incoming proposals back for verification/filling, exactly the
+//! interface the shared-mempool abstraction needs (paper Figure 1).
+//!
+//! * [`HotStuffEngine`] — chained HotStuff: pipelined, linear message
+//!   complexity, three-chain commit, timeout pacemaker.
+//! * [`PbftEngine`] — chained PBFT: pre-prepare/prepare/commit with
+//!   all-to-all votes.
+//! * [`StreamletEngine`] — epoch-based streamlined consensus.
+//! * [`MirBftEngine`] — MirBFT-style multi-leader operation (every replica
+//!   leads its own instance).
+
+pub mod api;
+pub mod hotstuff;
+pub mod mirbft;
+pub mod pbft;
+pub mod streamlet;
+pub mod testkit;
+
+pub use api::{
+    CDest, CEffects, CEvent, ConsensusEngine, ConsensusMsg, ProposalVerdict, QuorumCert,
+    VoteAggregator,
+};
+pub use hotstuff::HotStuffEngine;
+pub use mirbft::MirBftEngine;
+pub use pbft::PbftEngine;
+pub use streamlet::StreamletEngine;

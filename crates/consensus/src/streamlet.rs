@@ -1,0 +1,301 @@
+//! Streamlet: the textbook streamlined blockchain protocol (Chan & Shi,
+//! 2020), one of the three consensus engines the paper integrates with
+//! Stratus (Section VI).
+//!
+//! Epochs advance on a fixed timer.  The epoch leader proposes a block
+//! extending the longest notarized chain; every replica broadcasts its
+//! vote; a block with `2f + 1` votes is notarized; three adjacent
+//! notarized blocks with consecutive epoch numbers finalize the prefix up
+//! to the middle one.
+
+use crate::api::{
+    CEffects, CEvent, ConsensusEngine, ConsensusMsg, ProposalVerdict, VoteAggregator,
+};
+use smp_types::{BlockId, Payload, Proposal, ReplicaId, SimTime, SystemConfig, View};
+use std::collections::{HashMap, HashSet};
+
+/// Timer tag for the epoch clock.
+pub const EPOCH_TAG: u64 = 0x5354_524c_0000_0001;
+
+/// Streamlet engine.
+#[derive(Clone, Debug)]
+pub struct StreamletEngine {
+    me: ReplicaId,
+    n: usize,
+    quorum: usize,
+    epoch: View,
+    epoch_duration: SimTime,
+    blocks: HashMap<BlockId, Proposal>,
+    votes: VoteAggregator,
+    notarized: HashSet<BlockId>,
+    finalized: HashSet<BlockId>,
+    committed_count: u64,
+    longest_notarized_tip: BlockId,
+    longest_notarized_height: u64,
+    proposed_in: HashSet<View>,
+    payload_requested_for: HashSet<View>,
+    view_changes: u64,
+}
+
+impl StreamletEngine {
+    /// Creates the engine for replica `me`.  The epoch duration is derived
+    /// from the configured view-change timeout (an epoch must comfortably
+    /// fit one proposal round trip).
+    pub fn new(config: &SystemConfig, me: ReplicaId) -> Self {
+        StreamletEngine {
+            me,
+            n: config.n,
+            quorum: config.consensus_quorum(),
+            epoch: View(1),
+            epoch_duration: (config.view_change_timeout / 2).max(1),
+            blocks: HashMap::new(),
+            votes: VoteAggregator::new(),
+            notarized: HashSet::new(),
+            finalized: HashSet::new(),
+            committed_count: 0,
+            longest_notarized_tip: BlockId::GENESIS,
+            longest_notarized_height: 0,
+            proposed_in: HashSet::new(),
+            payload_requested_for: HashSet::new(),
+            view_changes: 0,
+        }
+    }
+
+    /// Number of epochs that expired without this replica seeing a
+    /// proposal from the epoch leader.
+    pub fn view_changes(&self) -> u64 {
+        self.view_changes
+    }
+
+    fn leader_of(&self, epoch: View) -> ReplicaId {
+        epoch.leader(self.n)
+    }
+
+    fn request_payload_if_leader(&mut self, epoch: View, fx: &mut CEffects) {
+        if self.leader_of(epoch) == self.me
+            && !self.proposed_in.contains(&epoch)
+            && self.payload_requested_for.insert(epoch)
+        {
+            fx.event(CEvent::NeedPayload { view: epoch });
+        }
+    }
+
+    fn on_notarized(&mut self, block: BlockId, fx: &mut CEffects) {
+        if !self.notarized.insert(block) {
+            return;
+        }
+        let Some(p) = self.blocks.get(&block).cloned() else { return };
+        if p.height > self.longest_notarized_height {
+            self.longest_notarized_height = p.height;
+            self.longest_notarized_tip = block;
+        }
+        // Finalization: three adjacent notarized blocks with consecutive
+        // epochs finalize everything up to the middle one.
+        let Some(parent) = self.blocks.get(&p.parent).cloned() else { return };
+        let Some(grandparent) = self.blocks.get(&parent.parent).cloned() else { return };
+        if !self.notarized.contains(&parent.id) || !self.notarized.contains(&grandparent.id) {
+            return;
+        }
+        if p.view.0 == parent.view.0 + 1 && parent.view.0 == grandparent.view.0 + 1 {
+            self.finalize_chain(parent, fx);
+        }
+    }
+
+    fn finalize_chain(&mut self, tip: Proposal, fx: &mut CEffects) {
+        let mut chain = Vec::new();
+        let mut cursor = Some(tip);
+        while let Some(p) = cursor {
+            if self.finalized.contains(&p.id) {
+                break;
+            }
+            cursor = self.blocks.get(&p.parent).cloned();
+            chain.push(p);
+        }
+        for p in chain.into_iter().rev() {
+            self.finalized.insert(p.id);
+            self.committed_count += 1;
+            fx.event(CEvent::Committed { proposal: p });
+        }
+    }
+
+    fn record_vote(&mut self, epoch: View, block: BlockId, voter: ReplicaId, fx: &mut CEffects) {
+        if self.votes.record(epoch, block, voter, self.quorum) {
+            self.on_notarized(block, fx);
+        }
+    }
+}
+
+impl ConsensusEngine for StreamletEngine {
+    fn on_start(&mut self, _now: SimTime) -> CEffects {
+        let mut fx = CEffects::none();
+        fx.timer(self.epoch_duration, EPOCH_TAG);
+        self.request_payload_if_leader(self.epoch, &mut fx);
+        fx
+    }
+
+    fn on_message(&mut self, _now: SimTime, _from: ReplicaId, msg: ConsensusMsg) -> CEffects {
+        let mut fx = CEffects::none();
+        match msg {
+            ConsensusMsg::Propose(p) => {
+                if p.proposer != self.leader_of(p.view) || self.blocks.contains_key(&p.id) {
+                    return fx;
+                }
+                if p.view > self.epoch {
+                    // We are behind: adopt the later epoch.
+                    self.epoch = p.view;
+                }
+                self.blocks.insert(p.id, p.clone());
+                fx.event(CEvent::VerifyProposal { proposal: p });
+            }
+            ConsensusMsg::Prepare { view, block, voter, .. } => {
+                self.record_vote(view, block, voter, &mut fx);
+            }
+            _ => {}
+        }
+        fx
+    }
+
+    fn on_timer(&mut self, _now: SimTime, tag: u64) -> CEffects {
+        let mut fx = CEffects::none();
+        if tag != EPOCH_TAG {
+            return fx;
+        }
+        // The epoch clock ticks unconditionally.
+        if !self.proposed_in.contains(&self.epoch) && self.leader_of(self.epoch) != self.me {
+            // The leader of the finished epoch never reached us.
+            self.view_changes += 1;
+        }
+        self.epoch = self.epoch.next();
+        fx.timer(self.epoch_duration, EPOCH_TAG);
+        self.request_payload_if_leader(self.epoch, &mut fx);
+        fx
+    }
+
+    fn on_payload(&mut self, _now: SimTime, epoch: View, payload: Payload) -> CEffects {
+        let mut fx = CEffects::none();
+        if epoch != self.epoch
+            || self.leader_of(epoch) != self.me
+            || self.proposed_in.contains(&epoch)
+        {
+            return fx;
+        }
+        self.proposed_in.insert(epoch);
+        let parent = self.longest_notarized_tip;
+        let height = self.longest_notarized_height + 1;
+        let proposal = Proposal::new(epoch, height, parent, self.me, payload, false);
+        self.blocks.insert(proposal.id, proposal.clone());
+        fx.broadcast(ConsensusMsg::Propose(proposal.clone()));
+        // The leader votes for its own proposal.
+        fx.broadcast(ConsensusMsg::Prepare {
+            view: epoch,
+            block: proposal.id,
+            voter: self.me,
+            instance: self.me,
+        });
+        self.record_vote(epoch, proposal.id, self.me, &mut fx);
+        fx
+    }
+
+    fn on_proposal_verdict(
+        &mut self,
+        _now: SimTime,
+        block: BlockId,
+        verdict: ProposalVerdict,
+    ) -> CEffects {
+        let mut fx = CEffects::none();
+        let Some(p) = self.blocks.get(&block).cloned() else { return fx };
+        match verdict {
+            ProposalVerdict::Accept => {
+                // Streamlet votes only for proposals extending the longest
+                // notarized chain.
+                if p.parent == self.longest_notarized_tip || p.height > self.longest_notarized_height
+                {
+                    fx.broadcast(ConsensusMsg::Prepare {
+                        view: p.view,
+                        block,
+                        voter: self.me,
+                        instance: p.proposer,
+                    });
+                    self.record_vote(p.view, block, self.me, &mut fx);
+                }
+            }
+            ProposalVerdict::Reject => {
+                self.view_changes += 1;
+                fx.event(CEvent::ViewChange { abandoned: p.view });
+            }
+        }
+        fx
+    }
+
+    fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    fn current_view(&self) -> View {
+        self.epoch
+    }
+
+    fn committed_count(&self) -> u64 {
+        self.committed_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testkit::{drive_until_quiet, EngineNet};
+
+    fn net(n: usize) -> EngineNet<StreamletEngine> {
+        let config = SystemConfig::new(n);
+        EngineNet::new((0..n as u32).map(|i| StreamletEngine::new(&config, ReplicaId(i))).collect())
+    }
+
+    #[test]
+    fn consecutive_epochs_finalize_blocks() {
+        let mut net = net(4);
+        net.start();
+        // Drive several epochs: each fire advances the epoch clock.
+        for _ in 0..8 {
+            drive_until_quiet(&mut net, 20);
+            net.fire_view_timers();
+        }
+        drive_until_quiet(&mut net, 20);
+        let committed = net.engines().iter().map(|e| e.committed_count()).max().unwrap();
+        assert!(committed >= 1, "three consecutive notarized epochs should finalize, got {committed}");
+        // Prefix agreement.
+        let chains = net.committed_chains();
+        let shortest = chains.iter().map(|c| c.len()).min().unwrap();
+        for i in 0..shortest {
+            assert!(chains.iter().all(|c| c[i] == chains[0][i]));
+        }
+    }
+
+    #[test]
+    fn epoch_clock_advances_even_without_progress() {
+        let config = SystemConfig::new(4);
+        let mut e = StreamletEngine::new(&config, ReplicaId(3));
+        let _ = e.on_start(0);
+        assert_eq!(e.current_view(), View(1));
+        let _ = e.on_timer(1, EPOCH_TAG);
+        let _ = e.on_timer(2, EPOCH_TAG);
+        assert_eq!(e.current_view(), View(3));
+        assert!(e.view_changes() >= 1);
+    }
+
+    #[test]
+    fn votes_are_broadcast() {
+        let config = SystemConfig::new(4);
+        let mut leader = StreamletEngine::new(&config, ReplicaId(1));
+        let _ = leader.on_start(0);
+        let fx = leader.on_payload(0, View(1), Payload::Empty);
+        let broadcast_votes = fx
+            .msgs
+            .iter()
+            .filter(|(dest, m)| {
+                matches!(dest, crate::api::CDest::AllButSelf)
+                    && matches!(m, ConsensusMsg::Prepare { .. })
+            })
+            .count();
+        assert_eq!(broadcast_votes, 1);
+    }
+}

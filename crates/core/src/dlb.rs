@@ -1,0 +1,347 @@
+//! Distributed load balancing (DLB) — Algorithm 4 of the paper.
+//!
+//! A busy replica forwards freshly sealed microblocks to a *proxy* chosen
+//! with power-of-d-choices sampling: it queries `d` random peers for their
+//! load status, picks the least loaded one, and hands it the microblock to
+//! disseminate through PAB on its behalf.  The proxy must return the
+//! availability proof before a timeout `τ'`, otherwise the microblock is
+//! re-forwarded; proxies that are in flight sit on a banList so they are
+//! not chosen twice concurrently (and Byzantine proxies that swallow
+//! microblocks stay banned until the periodic reset).
+
+use crate::config::DlbConfig;
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use smp_types::{Microblock, MicroblockId, ReplicaId, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// Decision produced when a sampling round completes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ForwardDecision {
+    /// Forward the microblock to this proxy.
+    Forward {
+        /// The chosen proxy.
+        proxy: ReplicaId,
+        /// The microblock to forward.
+        mb: Microblock,
+        /// Token identifying the forward (for the `τ'` timer).
+        token: u64,
+    },
+    /// No usable proxy: disseminate the microblock yourself.
+    SelfBroadcast {
+        /// The microblock to broadcast.
+        mb: Microblock,
+    },
+}
+
+#[derive(Clone, Debug)]
+struct SampleRound {
+    mb: Microblock,
+    targets: Vec<ReplicaId>,
+    replies: HashMap<ReplicaId, Option<SimTime>>,
+    decided: bool,
+}
+
+#[derive(Clone, Debug)]
+struct PendingForward {
+    mb: Microblock,
+    proxy: ReplicaId,
+}
+
+/// The load-forwarding state machine of one replica.
+#[derive(Clone, Debug)]
+pub struct LoadBalancer {
+    me: ReplicaId,
+    n: usize,
+    config: DlbConfig,
+    banlist: HashSet<ReplicaId>,
+    samples: HashMap<u64, SampleRound>,
+    forwards: HashMap<u64, PendingForward>,
+    forwarded_by_id: HashMap<MicroblockId, u64>,
+    next_token: u64,
+    forwarded_total: u64,
+    proxied_total: u64,
+}
+
+impl LoadBalancer {
+    /// Creates the load balancer for replica `me` in a system of `n`.
+    pub fn new(me: ReplicaId, n: usize, config: DlbConfig) -> Self {
+        LoadBalancer {
+            me,
+            n,
+            config,
+            banlist: HashSet::new(),
+            samples: HashMap::new(),
+            forwards: HashMap::new(),
+            forwarded_by_id: HashMap::new(),
+            next_token: 1,
+            forwarded_total: 0,
+            proxied_total: 0,
+        }
+    }
+
+    /// Whether load balancing is enabled.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled
+    }
+
+    /// Number of microblocks forwarded to proxies so far.
+    pub fn forwarded_total(&self) -> u64 {
+        self.forwarded_total
+    }
+
+    /// Number of microblocks disseminated on behalf of other replicas.
+    pub fn proxied_total(&self) -> u64 {
+        self.proxied_total
+    }
+
+    /// Records that this replica disseminated a microblock for someone else.
+    pub fn note_proxied(&mut self) {
+        self.proxied_total += 1;
+    }
+
+    /// Current banList contents (for tests / reporting).
+    pub fn banned(&self) -> Vec<ReplicaId> {
+        let mut v: Vec<ReplicaId> = self.banlist.iter().copied().collect();
+        v.sort();
+        v
+    }
+
+    /// Begins a sampling round for `mb`: returns the token and the peers
+    /// to query, or `None` if no candidate peers exist (caller broadcasts
+    /// the microblock itself).
+    pub fn start_sampling(
+        &mut self,
+        mb: Microblock,
+        rng: &mut SmallRng,
+    ) -> Option<(u64, Vec<ReplicaId>)> {
+        let mut candidates: Vec<ReplicaId> = (0..self.n as u32)
+            .map(ReplicaId)
+            .filter(|r| *r != self.me && !self.banlist.contains(r))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.shuffle(rng);
+        candidates.truncate(self.config.d);
+        let token = self.next_token;
+        self.next_token += 1;
+        self.samples.insert(
+            token,
+            SampleRound { mb, targets: candidates.clone(), replies: HashMap::new(), decided: false },
+        );
+        Some((token, candidates))
+    }
+
+    /// Records a load-status reply.  Returns a decision once every queried
+    /// peer has answered.
+    pub fn on_load_info(
+        &mut self,
+        token: u64,
+        from: ReplicaId,
+        status: Option<SimTime>,
+    ) -> Option<ForwardDecision> {
+        let round = self.samples.get_mut(&token)?;
+        if round.decided || !round.targets.contains(&from) {
+            return None;
+        }
+        round.replies.insert(from, status);
+        if round.replies.len() < round.targets.len() {
+            return None;
+        }
+        self.decide(token)
+    }
+
+    /// Handles the sampling timeout `τ`: decide with whatever replies have
+    /// arrived.
+    pub fn on_sample_timeout(&mut self, token: u64) -> Option<ForwardDecision> {
+        self.decide(token)
+    }
+
+    fn decide(&mut self, token: u64) -> Option<ForwardDecision> {
+        let round = self.samples.get_mut(&token)?;
+        if round.decided {
+            self.samples.remove(&token);
+            return None;
+        }
+        round.decided = true;
+        let round = self.samples.remove(&token).expect("round exists");
+        let best = round
+            .replies
+            .iter()
+            .filter_map(|(r, s)| s.map(|w| (*r, w)))
+            .min_by_key(|(_, w)| *w)
+            .map(|(r, _)| r);
+        match best {
+            Some(proxy) => {
+                // Every chosen proxy goes on the banList until it returns a
+                // proof (Algorithm 4, lines 17 and 21).
+                self.banlist.insert(proxy);
+                let token = self.next_token;
+                self.next_token += 1;
+                self.forwards.insert(token, PendingForward { mb: round.mb.clone(), proxy });
+                self.forwarded_by_id.insert(round.mb.id, token);
+                self.forwarded_total += 1;
+                Some(ForwardDecision::Forward { proxy, mb: round.mb, token })
+            }
+            None => Some(ForwardDecision::SelfBroadcast { mb: round.mb }),
+        }
+    }
+
+    /// Records that the availability proof for a forwarded microblock came
+    /// back in time: the proxy is removed from the banList.  Returns the
+    /// proxy that is now unbanned.
+    pub fn on_proof_received(&mut self, id: &MicroblockId) -> Option<ReplicaId> {
+        let token = self.forwarded_by_id.remove(id)?;
+        let pending = self.forwards.remove(&token)?;
+        self.banlist.remove(&pending.proxy);
+        Some(pending.proxy)
+    }
+
+    /// Handles the forward timeout `τ'`: if the proof never arrived the
+    /// microblock must be re-forwarded (the proxy stays banned).
+    pub fn on_forward_timeout(&mut self, token: u64) -> Option<Microblock> {
+        let pending = self.forwards.remove(&token)?;
+        self.forwarded_by_id.remove(&pending.mb.id);
+        Some(pending.mb)
+    }
+
+    /// Clears the banList (periodic reset, Algorithm 4 line 33).
+    pub fn reset_banlist(&mut self) {
+        self.banlist.clear();
+    }
+
+    /// The banList reset interval from the configuration.
+    pub fn banlist_reset_interval(&self) -> SimTime {
+        self.config.banlist_reset_interval
+    }
+
+    /// The sampling timeout `τ`.
+    pub fn sample_timeout(&self) -> SimTime {
+        self.config.sample_timeout
+    }
+
+    /// The forward timeout `τ'`.
+    pub fn forward_timeout(&self) -> SimTime {
+        self.config.forward_timeout
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use smp_types::{ClientId, Transaction};
+
+    fn mb(creator: u32, seq: u64) -> Microblock {
+        let txs = vec![Transaction::synthetic(ClientId(creator), seq, 128, 0)];
+        Microblock::seal(ReplicaId(creator), txs, 0)
+    }
+
+    fn lb(d: usize) -> LoadBalancer {
+        LoadBalancer::new(ReplicaId(0), 10, DlbConfig::default().with_d(d))
+    }
+
+    #[test]
+    fn sampling_targets_exclude_self_and_banned() {
+        let mut lb = lb(3);
+        let mut rng = SmallRng::seed_from_u64(1);
+        let (_, targets) = lb.start_sampling(mb(0, 0), &mut rng).unwrap();
+        assert_eq!(targets.len(), 3);
+        assert!(!targets.contains(&ReplicaId(0)));
+    }
+
+    #[test]
+    fn least_loaded_replica_wins() {
+        let mut lb = lb(3);
+        let mut rng = SmallRng::seed_from_u64(2);
+        let (token, targets) = lb.start_sampling(mb(0, 1), &mut rng).unwrap();
+        assert!(lb.on_load_info(token, targets[0], Some(500)).is_none());
+        assert!(lb.on_load_info(token, targets[1], Some(100)).is_none());
+        let decision = lb.on_load_info(token, targets[2], Some(900)).unwrap();
+        match decision {
+            ForwardDecision::Forward { proxy, .. } => assert_eq!(proxy, targets[1]),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(lb.forwarded_total(), 1);
+        assert_eq!(lb.banned(), vec![targets[1]]);
+    }
+
+    #[test]
+    fn busy_replies_are_skipped_and_all_busy_means_self_broadcast() {
+        let mut lb = lb(2);
+        let mut rng = SmallRng::seed_from_u64(3);
+        let (token, targets) = lb.start_sampling(mb(0, 2), &mut rng).unwrap();
+        lb.on_load_info(token, targets[0], None);
+        let decision = lb.on_load_info(token, targets[1], None).unwrap();
+        assert!(matches!(decision, ForwardDecision::SelfBroadcast { .. }));
+        assert_eq!(lb.forwarded_total(), 0);
+    }
+
+    #[test]
+    fn sample_timeout_decides_with_partial_replies() {
+        let mut lb = lb(3);
+        let mut rng = SmallRng::seed_from_u64(4);
+        let (token, targets) = lb.start_sampling(mb(0, 3), &mut rng).unwrap();
+        lb.on_load_info(token, targets[0], Some(250));
+        let decision = lb.on_sample_timeout(token).unwrap();
+        match decision {
+            ForwardDecision::Forward { proxy, .. } => assert_eq!(proxy, targets[0]),
+            other => panic!("unexpected {other:?}"),
+        }
+        // The timeout can only decide once.
+        assert!(lb.on_sample_timeout(token).is_none());
+    }
+
+    #[test]
+    fn proof_receipt_unbans_proxy() {
+        let mut lb = lb(1);
+        let mut rng = SmallRng::seed_from_u64(5);
+        let m = mb(0, 4);
+        let (token, targets) = lb.start_sampling(m.clone(), &mut rng).unwrap();
+        let decision = lb.on_load_info(token, targets[0], Some(10)).unwrap();
+        let proxy = match decision {
+            ForwardDecision::Forward { proxy, .. } => proxy,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(lb.banned(), vec![proxy]);
+        assert_eq!(lb.on_proof_received(&m.id), Some(proxy));
+        assert!(lb.banned().is_empty());
+    }
+
+    #[test]
+    fn forward_timeout_returns_microblock_and_keeps_ban() {
+        let mut lb = lb(1);
+        let mut rng = SmallRng::seed_from_u64(6);
+        let m = mb(0, 5);
+        let (token, targets) = lb.start_sampling(m.clone(), &mut rng).unwrap();
+        let decision = lb.on_load_info(token, targets[0], Some(10)).unwrap();
+        let fwd_token = match decision {
+            ForwardDecision::Forward { token, .. } => token,
+            other => panic!("unexpected {other:?}"),
+        };
+        let back = lb.on_forward_timeout(fwd_token).unwrap();
+        assert_eq!(back.id, m.id);
+        // The unresponsive proxy stays banned until the periodic reset.
+        assert_eq!(lb.banned().len(), 1);
+        lb.reset_banlist();
+        assert!(lb.banned().is_empty());
+        // After the timeout the proof no longer unbans anything.
+        assert_eq!(lb.on_proof_received(&m.id), None);
+    }
+
+    #[test]
+    fn banned_peers_are_not_sampled_again() {
+        let mut lb = LoadBalancer::new(ReplicaId(0), 3, DlbConfig::default().with_d(2));
+        let mut rng = SmallRng::seed_from_u64(7);
+        // Ban replica 1 by forwarding to it.
+        let m = mb(0, 6);
+        let (token, targets) = lb.start_sampling(m, &mut rng).unwrap();
+        let first = targets[0];
+        lb.on_load_info(token, first, Some(1));
+        let _ = lb.on_sample_timeout(token);
+        // Next sampling round must avoid the banned proxy.
+        let (_, targets2) = lb.start_sampling(mb(0, 7), &mut rng).unwrap();
+        assert!(!targets2.contains(&first));
+    }
+}

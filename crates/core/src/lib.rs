@@ -1,0 +1,60 @@
+//! **Stratus** — a robust shared mempool for leader-based BFT consensus.
+//!
+//! This crate is the reproduction of the paper's primary contribution
+//! (Sections IV–VI): a shared mempool that decouples transaction
+//! dissemination from consensus so that the leader only orders microblock
+//! *ids*, built from three pieces:
+//!
+//! * **PAB — provably available broadcast** ([`pab`]): a two-phase
+//!   broadcast in which the sender collects `q ∈ [f+1, 2f+1]` signed
+//!   acknowledgements into an *availability proof*.  A proposal whose
+//!   references all carry valid proofs can enter the commit phase
+//!   immediately; any replica missing the data recovers it in the
+//!   background from the proof's signers (Algorithms 1–2).
+//! * **DLB — distributed load balancing** ([`dlb`], [`estimator`]):
+//!   overloaded replicas forward freshly sealed microblocks to
+//!   under-utilised proxies chosen with power-of-d-choices sampling, with
+//!   a banList protecting against unresponsive or Byzantine proxies
+//!   (Algorithm 4).  Load is estimated locally from the *stable time* of
+//!   recent microblocks (Section V-B).
+//! * **The Stratus mempool** ([`mempool::StratusMempool`]): the
+//!   integration of both with the shared-mempool interface used by the
+//!   consensus engines (Algorithm 3: `avaQue`, `pMap`, `mbMap`), plus the
+//!   two engineering optimizations from Section VI — consensus-message
+//!   prioritization and a token-bucket limiter on bulk data.
+//!
+//! # Quick example
+//!
+//! ```
+//! use smp_mempool::Mempool;
+//! use smp_types::{ReplicaId, SystemConfig, Transaction, ClientId};
+//! use stratus::{StratusConfig, StratusMempool};
+//! use rand::SeedableRng;
+//!
+//! let system = SystemConfig::new(4);
+//! let mut rng = rand::rngs::SmallRng::seed_from_u64(7);
+//! let mut mempool = StratusMempool::new(&system, StratusConfig::default(), ReplicaId(0));
+//!
+//! // Feed client transactions; once a batch fills (or times out) the
+//! // mempool emits the PAB push-phase broadcast.
+//! let txs: Vec<Transaction> =
+//!     (0..1500).map(|i| Transaction::synthetic(ClientId(0), i, 128, 0)).collect();
+//! let effects = mempool.on_client_txs(0, txs, &mut rng);
+//! assert!(!effects.msgs.is_empty());
+//! ```
+
+pub mod config;
+pub mod dlb;
+pub mod estimator;
+pub mod limiter;
+pub mod mempool;
+pub mod messages;
+pub mod pab;
+
+pub use config::{DlbConfig, StratusConfig};
+pub use dlb::{ForwardDecision, LoadBalancer};
+pub use estimator::StableTimeEstimator;
+pub use limiter::TokenBucket;
+pub use mempool::StratusMempool;
+pub use messages::StratusMsg;
+pub use pab::PabEngine;

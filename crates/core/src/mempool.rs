@@ -1,0 +1,500 @@
+//! The Stratus shared mempool (Algorithm 3), tying together PAB, DLB, the
+//! stable-time estimator and the data-rate limiter behind the common
+//! [`smp_mempool::Mempool`] interface.
+
+use crate::config::StratusConfig;
+use crate::dlb::{ForwardDecision, LoadBalancer};
+use crate::estimator::StableTimeEstimator;
+use crate::limiter::TokenBucket;
+use crate::messages::StratusMsg;
+use crate::pab::PabEngine;
+use rand::rngs::SmallRng;
+use smp_mempool::{
+    Effects, FetchRetryState, FillStatus, Mempool, MempoolEvent, MempoolStats, TimerTag, TxBatcher,
+    MicroblockStore, ProposalQueue, FillTracker, BATCH_TIMEOUT_TAG,
+};
+use smp_types::{
+    Microblock, MicroblockId, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig,
+    Transaction, WireSize,
+};
+use std::collections::VecDeque;
+
+/// Timer-tag base for DLB sampling timeouts (`τ`).
+pub const SAMPLE_TAG_BASE: u64 = 0x5100_0000_0000_0000;
+/// Timer-tag base for DLB forward timeouts (`τ'`).
+pub const FORWARD_TAG_BASE: u64 = 0x5200_0000_0000_0000;
+/// Timer tag for the periodic banList reset.
+pub const BANLIST_RESET_TAG: u64 = 0x4241_4e52;
+/// Timer tag for the token-bucket release check.
+pub const LIMITER_TAG: u64 = 0x4c49_4d49;
+
+/// The Stratus shared mempool.
+#[derive(Clone, Debug)]
+pub struct StratusMempool {
+    me: ReplicaId,
+    n: usize,
+    max_refs: usize,
+    config: StratusConfig,
+    batcher: TxBatcher,
+    store: MicroblockStore,
+    /// The paper's `avaQue`: microblock ids whose availability proof is
+    /// known and which have not yet been referenced by a proposal.
+    ava_queue: ProposalQueue,
+    tracker: FillTracker,
+    fetcher: FetchRetryState,
+    pab: PabEngine,
+    lb: LoadBalancer,
+    estimator: StableTimeEstimator,
+    limiter: Option<TokenBucket>,
+    deferred: VecDeque<(Microblock, Option<ReplicaId>)>,
+    started: bool,
+    created: u64,
+}
+
+impl StratusMempool {
+    /// Creates the Stratus mempool for replica `me`.
+    pub fn new(system: &SystemConfig, config: StratusConfig, me: ReplicaId) -> Self {
+        let quorum = config
+            .pab_quorum_override
+            .unwrap_or(system.pab_quorum)
+            .clamp(system.f + 1, 2 * system.f + 1);
+        let limiter = config
+            .data_bandwidth_share
+            .map(|share| TokenBucket::for_bandwidth_share(system.network.bandwidth_bps(), share));
+        StratusMempool {
+            me,
+            n: system.n,
+            max_refs: system.mempool.max_refs_per_proposal,
+            config,
+            batcher: TxBatcher::new(me, system.mempool),
+            store: MicroblockStore::new(),
+            ava_queue: ProposalQueue::new(),
+            tracker: FillTracker::new(),
+            fetcher: FetchRetryState::new(config.fetch_timeout),
+            pab: PabEngine::new(system.seed, system.n, me, quorum, config.fetch_alpha),
+            lb: LoadBalancer::new(me, system.n, config.dlb),
+            estimator: StableTimeEstimator::new(
+                config.dlb.estimator_window,
+                config.dlb.estimator_percentile,
+                config.dlb.busy_factor,
+            ),
+            limiter,
+            deferred: VecDeque::new(),
+            started: false,
+            created: 0,
+        }
+    }
+
+    /// The PAB availability quorum in use.
+    pub fn pab_quorum(&self) -> usize {
+        self.pab.quorum()
+    }
+
+    /// The workload estimator (exposed for tests and reporting).
+    pub fn estimator(&self) -> &StableTimeEstimator {
+        &self.estimator
+    }
+
+    /// The load balancer (exposed for tests and reporting).
+    pub fn load_balancer(&self) -> &LoadBalancer {
+        &self.lb
+    }
+
+    /// Number of availability proofs known locally.
+    pub fn proofs_known(&self) -> usize {
+        self.pab.proofs_known()
+    }
+
+    /// Whether `id` is currently proposable (provably available and not
+    /// yet referenced by a proposal seen by this replica).
+    pub fn is_proposable(&self, id: &MicroblockId) -> bool {
+        self.ava_queue.contains(id)
+    }
+
+    fn ensure_started(&mut self, effects: &mut Effects<StratusMsg>) {
+        if !self.started {
+            self.started = true;
+            if self.lb.enabled() {
+                effects.timer(self.lb.banlist_reset_interval(), BANLIST_RESET_TAG);
+            }
+        }
+    }
+
+    /// Handles a freshly sealed microblock (the `NEWMB` event of
+    /// Algorithm 4): forward it to a proxy if we are busy, otherwise run
+    /// the PAB push phase ourselves.
+    fn handle_new_microblock(
+        &mut self,
+        now: SimTime,
+        mb: Microblock,
+        rng: &mut SmallRng,
+        effects: &mut Effects<StratusMsg>,
+    ) {
+        self.created += 1;
+        self.store.insert(mb.clone());
+        if self.lb.enabled() && self.estimator.is_busy() {
+            // Cloning is cheap: the transaction batch is shared via `Arc`.
+            if let Some((token, targets)) = self.lb.start_sampling(mb.clone(), rng) {
+                for t in &targets {
+                    effects.send(*t, StratusMsg::LbQuery { token });
+                }
+                effects.timer(self.lb.sample_timeout(), SAMPLE_TAG_BASE + token);
+                return;
+            }
+            // No eligible proxy: fall through to self-broadcast.
+        }
+        self.start_pab_broadcast(now, mb, None, effects);
+    }
+
+    fn start_pab_broadcast(
+        &mut self,
+        now: SimTime,
+        mut mb: Microblock,
+        origin: Option<ReplicaId>,
+        effects: &mut Effects<StratusMsg>,
+    ) {
+        mb.disseminator = self.me;
+        // Token-bucket limiter: bulk data waits for tokens so that control
+        // traffic always has headroom (Section VI, optimization 2).
+        let broadcast_bytes = mb.wire_size() * self.n.saturating_sub(1);
+        if let Some(limiter) = &mut self.limiter {
+            if !limiter.try_consume(now, broadcast_bytes) {
+                let delay = limiter.time_until_available(now, broadcast_bytes).max(1);
+                self.deferred.push_back((mb, origin));
+                effects.timer(delay, LIMITER_TAG);
+                return;
+            }
+        }
+        self.pab.start_push(&mb, now, origin);
+        effects.broadcast(StratusMsg::PabMsg(mb));
+    }
+
+    /// Handles a verified availability proof that this replica should act
+    /// on locally: record it, make the microblock proposable, and fetch the
+    /// data in the background if we do not have it.
+    fn adopt_proof(
+        &mut self,
+        now: SimTime,
+        id: MicroblockId,
+        proof: smp_crypto::QuorumProof,
+        rng: &mut SmallRng,
+        effects: &mut Effects<StratusMsg>,
+    ) {
+        self.pab.store_proof(id, proof.clone());
+        self.ava_queue.push(id);
+        if !self.store.contains(&id) {
+            let targets = self.pab.fetch_targets(&proof, &[], rng);
+            if !targets.is_empty() {
+                let candidates: Vec<ReplicaId> =
+                    proof.signers().into_iter().map(ReplicaId).filter(|r| *r != self.me).collect();
+                let action = self.fetcher.register(vec![id], candidates);
+                effects.multicast(targets, StratusMsg::PabRequest { ids: vec![id] });
+                effects.timer(self.config.fetch_timeout, action.tag);
+                effects.event(MempoolEvent::FetchIssued { count: 1 });
+            }
+        }
+        let _ = now;
+    }
+
+    fn handle_forward_decision(
+        &mut self,
+        now: SimTime,
+        decision: ForwardDecision,
+        effects: &mut Effects<StratusMsg>,
+    ) {
+        match decision {
+            ForwardDecision::Forward { proxy, mb, token } => {
+                effects.send(proxy, StratusMsg::LbForward(mb));
+                effects.timer(self.lb.forward_timeout(), FORWARD_TAG_BASE + token);
+            }
+            ForwardDecision::SelfBroadcast { mb } => {
+                self.start_pab_broadcast(now, mb, None, effects);
+            }
+        }
+    }
+
+    fn drain_deferred(&mut self, now: SimTime, effects: &mut Effects<StratusMsg>) {
+        while let Some((mb, origin)) = self.deferred.pop_front() {
+            let broadcast_bytes = mb.wire_size() * self.n.saturating_sub(1);
+            let can_send = match &mut self.limiter {
+                Some(l) => l.try_consume(now, broadcast_bytes),
+                None => true,
+            };
+            if can_send {
+                self.pab.start_push(&mb, now, origin);
+                let mut mb = mb;
+                mb.disseminator = self.me;
+                effects.broadcast(StratusMsg::PabMsg(mb));
+            } else {
+                let delay = self
+                    .limiter
+                    .as_mut()
+                    .map(|l| l.time_until_available(now, broadcast_bytes).max(1))
+                    .unwrap_or(1);
+                self.deferred.push_front((mb, origin));
+                effects.timer(delay, LIMITER_TAG);
+                break;
+            }
+        }
+    }
+
+}
+
+impl Mempool for StratusMempool {
+    type Msg = StratusMsg;
+
+    fn on_client_txs(
+        &mut self,
+        now: SimTime,
+        txs: Vec<Transaction>,
+        rng: &mut SmallRng,
+    ) -> Effects<StratusMsg> {
+        let mut effects = Effects::none();
+        self.ensure_started(&mut effects);
+        let outcome = self.batcher.add(now, txs);
+        if outcome.arm_timer {
+            effects.timer(self.batcher.timeout(), BATCH_TIMEOUT_TAG);
+        }
+        for mb in outcome.sealed {
+            self.handle_new_microblock(now, mb, rng, &mut effects);
+        }
+        effects
+    }
+
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: ReplicaId,
+        msg: StratusMsg,
+        rng: &mut SmallRng,
+    ) -> Effects<StratusMsg> {
+        let mut effects = Effects::none();
+        self.ensure_started(&mut effects);
+        match msg {
+            StratusMsg::PabMsg(mb) => {
+                let id = mb.id;
+                let newly = self.store.insert(mb);
+                // Acknowledge to the disseminator (push phase, Algorithm 1).
+                effects.send(from, StratusMsg::PabAck { id, sig: self.pab.ack_for(&id) });
+                if newly {
+                    for ev in self.tracker.on_microblock(id, &self.store, now) {
+                        effects.event(ev);
+                    }
+                    self.fetcher.prune(&self.store);
+                }
+            }
+            StratusMsg::PabAck { id, sig } => {
+                if let Some(ready) = self.pab.on_ack(id, sig, now) {
+                    self.estimator.record(ready.stable_time);
+                    effects.event(MempoolEvent::MicroblockStable {
+                        id,
+                        stable_time: ready.stable_time,
+                    });
+                    match ready.origin {
+                        // Proxy: hand the proof back to the original sender,
+                        // which takes over the recovery phase (Algorithm 4).
+                        Some(origin) if origin != self.me => {
+                            effects.send(origin, StratusMsg::PabProof { id, proof: ready.proof });
+                        }
+                        // Normal case: broadcast the proof and adopt it.
+                        _ => {
+                            effects.broadcast(StratusMsg::PabProof {
+                                id,
+                                proof: ready.proof.clone(),
+                            });
+                            self.adopt_proof(now, id, ready.proof, rng, &mut effects);
+                        }
+                    }
+                }
+            }
+            StratusMsg::PabProof { id, proof } => {
+                if self.pab.verify_proof(&id, &proof).is_err() {
+                    return effects;
+                }
+                if self.lb.on_proof_received(&id).is_some() {
+                    // We are the original sender of a forwarded microblock:
+                    // the proxy finished the push phase; take over recovery.
+                    effects.broadcast(StratusMsg::PabProof { id, proof: proof.clone() });
+                }
+                self.adopt_proof(now, id, proof, rng, &mut effects);
+            }
+            StratusMsg::PabRequest { ids } => {
+                let mbs: Vec<Microblock> =
+                    ids.iter().filter_map(|id| self.store.get(id).cloned()).collect();
+                if !mbs.is_empty() {
+                    effects.send(from, StratusMsg::PabResponse { mbs });
+                }
+            }
+            StratusMsg::PabResponse { mbs } => {
+                for mb in mbs {
+                    let id = mb.id;
+                    if self.store.insert(mb) {
+                        for ev in self.tracker.on_microblock(id, &self.store, now) {
+                            effects.event(ev);
+                        }
+                    }
+                }
+                self.fetcher.prune(&self.store);
+            }
+            StratusMsg::LbQuery { token } => {
+                effects.send(
+                    from,
+                    StratusMsg::LbInfo { token, stable_time_us: self.estimator.load_status() },
+                );
+            }
+            StratusMsg::LbInfo { token, stable_time_us } => {
+                if let Some(decision) = self.lb.on_load_info(token, from, stable_time_us) {
+                    self.handle_forward_decision(now, decision, &mut effects);
+                }
+            }
+            StratusMsg::LbForward(mb) => {
+                // We are the chosen proxy: disseminate on behalf of the
+                // original sender (the microblock's creator).
+                self.lb.note_proxied();
+                let origin = mb.creator;
+                self.store.insert(mb.clone());
+                self.start_pab_broadcast(now, mb, Some(origin), &mut effects);
+            }
+        }
+        effects
+    }
+
+    fn on_timer(&mut self, now: SimTime, tag: TimerTag, rng: &mut SmallRng) -> Effects<StratusMsg> {
+        let mut effects = Effects::none();
+        if tag == BATCH_TIMEOUT_TAG {
+            if let Some(mb) = self.batcher.on_timeout(now) {
+                self.handle_new_microblock(now, mb, rng, &mut effects);
+            }
+        } else if tag == BANLIST_RESET_TAG {
+            self.lb.reset_banlist();
+            effects.timer(self.lb.banlist_reset_interval(), BANLIST_RESET_TAG);
+        } else if tag == LIMITER_TAG {
+            self.drain_deferred(now, &mut effects);
+        } else if tag >= FORWARD_TAG_BASE {
+            if let Some(mb) = self.lb.on_forward_timeout(tag - FORWARD_TAG_BASE) {
+                // The proxy never returned a proof: try again (it stays on
+                // the banList, so a different proxy will be sampled).
+                self.handle_new_microblock(now, mb, rng, &mut effects);
+            }
+        } else if tag >= SAMPLE_TAG_BASE {
+            if let Some(decision) = self.lb.on_sample_timeout(tag - SAMPLE_TAG_BASE) {
+                self.handle_forward_decision(now, decision, &mut effects);
+            }
+        } else if FetchRetryState::owns_tag(tag) {
+            if let Some(action) = self.fetcher.on_timer(tag, &self.store) {
+                effects.send(action.target, StratusMsg::PabRequest { ids: action.ids });
+                effects.timer(self.config.fetch_timeout, action.tag);
+            }
+        }
+        effects
+    }
+
+    fn make_payload(&mut self, _now: SimTime) -> Payload {
+        let mut refs = Vec::new();
+        let mut skipped = Vec::new();
+        while refs.len() < self.max_refs {
+            let Some(id) = self.ava_queue.pop() else { break };
+            let Some(proof) = self.pab.proof_of(&id).cloned() else {
+                skipped.push(id);
+                continue;
+            };
+            let Some(mb) = self.store.get(&id) else {
+                // Provably available but not yet fetched locally: keep it
+                // for a later proposal rather than dropping it.
+                skipped.push(id);
+                continue;
+            };
+            refs.push(MicroblockRef::proven(id, mb.creator, mb.len() as u32, proof));
+        }
+        for id in skipped {
+            self.ava_queue.push(id);
+        }
+        if refs.is_empty() {
+            Payload::Empty
+        } else {
+            Payload::Refs(refs)
+        }
+    }
+
+    fn on_proposal(
+        &mut self,
+        now: SimTime,
+        proposal: &Proposal,
+        rng: &mut SmallRng,
+    ) -> (FillStatus, Effects<StratusMsg>) {
+        let mut effects = Effects::none();
+        let refs = match &proposal.payload {
+            Payload::Refs(refs) => refs,
+            _ => return (FillStatus::Ready, effects),
+        };
+        // Every reference must carry a valid availability proof, otherwise
+        // the proposal triggers a view change (Algorithm 3, lines 22-25).
+        for r in refs {
+            let Some(proof) = &r.proof else {
+                return (FillStatus::Invalid("reference without availability proof"), effects);
+            };
+            if self.pab.verify_proof(&r.id, proof).is_err() {
+                return (FillStatus::Invalid("invalid availability proof"), effects);
+            }
+        }
+        let mut missing = Vec::new();
+        for r in refs {
+            self.ava_queue.remove(&r.id);
+            if let Some(proof) = &r.proof {
+                self.pab.store_proof(r.id, proof.clone());
+            }
+            if !self.store.contains(&r.id) {
+                missing.push(r.clone());
+            }
+        }
+        if !missing.is_empty() {
+            // Consensus is NOT blocked: the proofs guarantee the data can be
+            // recovered in the background (PAB-Provable Availability).
+            self.tracker.track(proposal, missing.iter().map(|r| r.id).collect(), false);
+            for r in &missing {
+                let proof = r.proof.as_ref().expect("verified above");
+                let targets = self.pab.fetch_targets(proof, &[], rng);
+                let candidates: Vec<ReplicaId> = proof
+                    .signers()
+                    .into_iter()
+                    .map(ReplicaId)
+                    .filter(|x| *x != self.me)
+                    .collect();
+                if candidates.is_empty() {
+                    continue;
+                }
+                let action = self.fetcher.register(vec![r.id], candidates);
+                let request_targets = if targets.is_empty() { vec![action.target] } else { targets };
+                effects.multicast(request_targets, StratusMsg::PabRequest { ids: vec![r.id] });
+                effects.timer(self.config.fetch_timeout, action.tag);
+            }
+            effects.event(MempoolEvent::FetchIssued { count: missing.len() as u32 });
+        }
+        let _ = now;
+        (FillStatus::Ready, effects)
+    }
+
+    fn on_commit(&mut self, now: SimTime, proposal: &Proposal) -> Effects<StratusMsg> {
+        let mut effects = Effects::none();
+        if let Payload::Refs(refs) = &proposal.payload {
+            for r in refs {
+                self.ava_queue.remove(&r.id);
+            }
+        }
+        for ev in self.tracker.on_commit(proposal, &self.store, now) {
+            effects.event(ev);
+        }
+        effects
+    }
+
+    fn stats(&self) -> MempoolStats {
+        MempoolStats {
+            unbatched_txs: self.batcher.pending_txs(),
+            stored_microblocks: self.store.len(),
+            proposable_microblocks: self.ava_queue.len(),
+            created_microblocks: self.created,
+            forwarded_microblocks: self.lb.forwarded_total(),
+            fetches_issued: self.fetcher.issued(),
+        }
+    }
+}

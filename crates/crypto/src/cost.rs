@@ -1,0 +1,106 @@
+//! CPU cost model for cryptographic operations.
+//!
+//! The discrete-event simulator charges per-message processing time so
+//! that small deployments are CPU-bound (matching the ~120 KTx/s the paper
+//! reports for 4-replica HotStuff on 4-vCPU machines) while large
+//! deployments become bandwidth-bound.  The constants are calibrated to
+//! commodity ECDSA/secp256k1 figures and can be overridden per experiment.
+
+use serde::{Deserialize, Serialize};
+
+/// Cost (in simulated microseconds) of cryptographic and bookkeeping
+/// operations performed by a replica.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Cost of producing one signature.
+    pub sign_us: f64,
+    /// Cost of verifying one signature.
+    pub verify_us: f64,
+    /// Cost of hashing, per kilobyte of input.
+    pub hash_per_kb_us: f64,
+    /// Fixed cost of handling any message (syscalls, deserialization).
+    pub per_message_us: f64,
+    /// Per-transaction bookkeeping cost (mempool insert, id lookup).
+    pub per_tx_us: f64,
+}
+
+impl CostModel {
+    /// Default calibration used throughout the reproduction.
+    pub const DEFAULT: CostModel = CostModel {
+        sign_us: 45.0,
+        verify_us: 90.0,
+        hash_per_kb_us: 1.2,
+        per_message_us: 8.0,
+        per_tx_us: 1.5,
+    };
+
+    /// A model where cryptography is free; useful for isolating network
+    /// effects in unit tests.
+    pub const FREE: CostModel = CostModel {
+        sign_us: 0.0,
+        verify_us: 0.0,
+        hash_per_kb_us: 0.0,
+        per_message_us: 0.0,
+        per_tx_us: 0.0,
+    };
+
+    /// Cost of verifying `n` signatures (e.g. a concatenated proof).
+    pub fn verify_many_us(&self, n: usize) -> f64 {
+        self.verify_us * n as f64
+    }
+
+    /// Cost of hashing `bytes` bytes.
+    pub fn hash_us(&self, bytes: usize) -> f64 {
+        self.hash_per_kb_us * bytes as f64 / 1024.0
+    }
+
+    /// Cost of receiving and bookkeeping a batch of `n_txs` transactions
+    /// totalling `bytes` bytes.
+    pub fn batch_ingest_us(&self, n_txs: usize, bytes: usize) -> f64 {
+        self.per_message_us + self.per_tx_us * n_txs as f64 + self.hash_us(bytes)
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel::DEFAULT
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_model_is_nonzero() {
+        let m = CostModel::default();
+        assert!(m.sign_us > 0.0 && m.verify_us > 0.0);
+    }
+
+    #[test]
+    fn free_model_is_zero() {
+        let m = CostModel::FREE;
+        assert_eq!(m.batch_ingest_us(100, 10_000), 0.0);
+        assert_eq!(m.verify_many_us(10), 0.0);
+    }
+
+    #[test]
+    fn verify_many_scales_linearly() {
+        let m = CostModel::DEFAULT;
+        assert!((m.verify_many_us(3) - 3.0 * m.verify_us).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hash_cost_scales_with_size() {
+        let m = CostModel::DEFAULT;
+        assert!(m.hash_us(2048) > m.hash_us(1024));
+        assert_eq!(m.hash_us(0), 0.0);
+    }
+
+    #[test]
+    fn batch_ingest_includes_all_components() {
+        let m = CostModel::DEFAULT;
+        let c = m.batch_ingest_us(10, 1024);
+        assert!(c >= m.per_message_us + 10.0 * m.per_tx_us);
+    }
+}

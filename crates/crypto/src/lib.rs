@@ -1,0 +1,34 @@
+//! Simulated cryptographic substrate for the Stratus reproduction.
+//!
+//! The paper's evaluation (Section VII-A) deliberately excludes
+//! application-level verification cost and never relies on cryptographic
+//! hardness: what matters to the reported numbers are the *sizes* of
+//! digests, signatures and availability proofs on the wire, and the
+//! (small) CPU cost of producing and verifying them.  This crate therefore
+//! provides deterministic, cheap stand-ins that preserve exactly those two
+//! aspects:
+//!
+//! * [`hash`] — a 256-bit non-cryptographic digest used for transaction,
+//!   microblock and block identifiers.
+//! * [`keys`] / [`signature`] — per-replica key pairs and 64-byte
+//!   signatures (the paper uses ECDSA; Section VI).
+//! * [`proof`] — aggregated availability proofs made of `q` concatenated
+//!   signatures (the paper trivially concatenates `f+1` ECDSA signatures
+//!   instead of using a threshold scheme; footnote 4).
+//! * [`cost`] — a CPU cost model so that the discrete-event simulator can
+//!   charge realistic per-message processing time.
+//!
+//! All operations are deterministic functions of their inputs, which keeps
+//! the whole simulation reproducible.
+
+pub mod cost;
+pub mod hash;
+pub mod keys;
+pub mod proof;
+pub mod signature;
+
+pub use cost::CostModel;
+pub use hash::{Digest, Hasher, DIGEST_BYTES};
+pub use keys::{KeyPair, PublicKey, SecretKey};
+pub use proof::{ProofError, QuorumProof, SIGNATURE_BYTES};
+pub use signature::Signature;

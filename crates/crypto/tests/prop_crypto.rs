@@ -1,0 +1,76 @@
+//! Property-based tests for the crypto substrate.
+
+use proptest::prelude::*;
+use smp_crypto::{Digest, KeyPair, QuorumProof, Signature};
+
+proptest! {
+    #[test]
+    fn digest_is_deterministic(bytes in proptest::collection::vec(any::<u8>(), 0..512)) {
+        prop_assert_eq!(Digest::of_bytes(&bytes), Digest::of_bytes(&bytes));
+    }
+
+    #[test]
+    fn distinct_u64_inputs_do_not_collide(a in any::<u64>(), b in any::<u64>()) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Digest::of_u64(a), Digest::of_u64(b));
+    }
+
+    #[test]
+    fn append_changes_digest(bytes in proptest::collection::vec(any::<u8>(), 0..256), extra in any::<u8>()) {
+        let mut longer = bytes.clone();
+        longer.push(extra);
+        prop_assert_ne!(Digest::of_bytes(&bytes), Digest::of_bytes(&longer));
+    }
+
+    #[test]
+    fn signature_roundtrip(seed in any::<u64>(), idx in 0u32..64, msg in any::<u64>()) {
+        let kp = KeyPair::derive(seed, idx);
+        let d = Digest::of_u64(msg);
+        let sig = Signature::sign(&kp.secret, &d);
+        prop_assert!(sig.verify(&kp.public, &d));
+    }
+
+    #[test]
+    fn signature_does_not_verify_under_other_key(seed in any::<u64>(), msg in any::<u64>()) {
+        let a = KeyPair::derive(seed, 0);
+        let b = KeyPair::derive(seed, 1);
+        let d = Digest::of_u64(msg);
+        let sig = Signature::sign(&a.secret, &d);
+        prop_assert!(!sig.verify(&b.public, &d));
+    }
+
+    #[test]
+    fn quorum_proof_verifies_iff_quorum_met(
+        seed in any::<u64>(),
+        n in 4usize..16,
+        msg in any::<u64>(),
+        subset_bits in any::<u16>(),
+    ) {
+        let kps = KeyPair::derive_all(seed, n);
+        let pks: Vec<_> = kps.iter().map(|k| k.public).collect();
+        let d = Digest::of_u64(msg);
+        let signers: Vec<usize> = (0..n).filter(|i| subset_bits & (1 << i) != 0).collect();
+        let proof = QuorumProof::from_signatures(
+            d,
+            signers.iter().map(|&i| Signature::sign(&kps[i].secret, &d)),
+        );
+        let f = (n - 1) / 3;
+        let quorum = f + 1;
+        if signers.len() >= quorum {
+            prop_assert!(proof.verify(&pks, quorum).is_ok());
+        } else {
+            prop_assert!(proof.verify(&pks, quorum).is_err());
+        }
+    }
+
+    #[test]
+    fn quorum_proof_wire_size_is_linear(seed in any::<u64>(), n in 1usize..12, msg in any::<u64>()) {
+        let kps = KeyPair::derive_all(seed, n);
+        let d = Digest::of_u64(msg);
+        let proof = QuorumProof::from_signatures(
+            d,
+            kps.iter().map(|k| Signature::sign(&k.secret, &d)),
+        );
+        prop_assert_eq!(proof.wire_size(), 32 + 64 * n);
+    }
+}

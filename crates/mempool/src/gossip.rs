@@ -1,0 +1,361 @@
+//! A gossip-based shared mempool (SMP-HS-G in the paper).
+//!
+//! Instead of having the creator broadcast a microblock to everyone,
+//! the creator sends it to `fanout` random peers, and every replica relays
+//! it to `fanout` further random peers the first time it sees it.  This
+//! spreads dissemination cost but adds redundancy and a long tail latency
+//! (Section III-E, Solution-II discussion), which is why it underperforms
+//! Stratus under skewed load (Figure 11).
+
+use crate::api::{Effects, FillStatus, Mempool, MempoolEvent, MempoolStats, TimerTag};
+use crate::batcher::{TxBatcher, BATCH_TIMEOUT_TAG};
+use crate::fetcher::FetchRetryState;
+use crate::messages::SmpMsg;
+use crate::simple::DEFAULT_FETCH_TIMEOUT;
+use crate::store::{FillTracker, MicroblockStore, ProposalQueue};
+use rand::rngs::SmallRng;
+use rand::seq::SliceRandom;
+use smp_types::{
+    Microblock, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig, Transaction,
+};
+
+/// Default gossip fan-out (the evaluation uses 3).
+pub const DEFAULT_FANOUT: usize = 3;
+
+/// Maximum relay hops.  With fan-out 3 this covers networks far larger
+/// than the 400 replicas evaluated in the paper.
+pub const MAX_HOPS: u8 = 16;
+
+/// Gossip-based shared mempool.
+#[derive(Clone, Debug)]
+pub struct GossipSmp {
+    me: ReplicaId,
+    n: usize,
+    fanout: usize,
+    max_refs: usize,
+    batcher: TxBatcher,
+    store: MicroblockStore,
+    queue: ProposalQueue,
+    tracker: FillTracker,
+    fetcher: FetchRetryState,
+    created: u64,
+    relayed: u64,
+}
+
+impl GossipSmp {
+    /// Creates the mempool for replica `me` with the default fan-out.
+    pub fn new(config: &SystemConfig, me: ReplicaId) -> Self {
+        Self::with_fanout(config, me, DEFAULT_FANOUT)
+    }
+
+    /// Creates the mempool with an explicit fan-out.
+    pub fn with_fanout(config: &SystemConfig, me: ReplicaId, fanout: usize) -> Self {
+        GossipSmp {
+            me,
+            n: config.n,
+            fanout: fanout.max(1),
+            max_refs: config.mempool.max_refs_per_proposal,
+            batcher: TxBatcher::new(me, config.mempool),
+            store: MicroblockStore::new(),
+            queue: ProposalQueue::new(),
+            tracker: FillTracker::new(),
+            fetcher: FetchRetryState::new(DEFAULT_FETCH_TIMEOUT),
+            created: 0,
+            relayed: 0,
+        }
+    }
+
+    /// Number of microblocks this replica relayed onward.
+    pub fn relayed(&self) -> u64 {
+        self.relayed
+    }
+
+    fn random_peers(&self, rng: &mut SmallRng, exclude: &[ReplicaId]) -> Vec<ReplicaId> {
+        let mut peers: Vec<ReplicaId> = (0..self.n as u32)
+            .map(ReplicaId)
+            .filter(|r| *r != self.me && !exclude.contains(r))
+            .collect();
+        peers.shuffle(rng);
+        peers.truncate(self.fanout);
+        peers
+    }
+
+    fn gossip_out(
+        &mut self,
+        mb: Microblock,
+        hops: u8,
+        exclude: &[ReplicaId],
+        rng: &mut SmallRng,
+        effects: &mut Effects<SmpMsg>,
+    ) {
+        if hops == 0 {
+            return;
+        }
+        let peers = self.random_peers(rng, exclude);
+        if peers.is_empty() {
+            return;
+        }
+        effects.multicast(peers, SmpMsg::Gossip { mb, hops: hops - 1 });
+    }
+}
+
+impl Mempool for GossipSmp {
+    type Msg = SmpMsg;
+
+    fn on_client_txs(
+        &mut self,
+        now: SimTime,
+        txs: Vec<Transaction>,
+        rng: &mut SmallRng,
+    ) -> Effects<SmpMsg> {
+        let mut effects = Effects::none();
+        let outcome = self.batcher.add(now, txs);
+        if outcome.arm_timer {
+            effects.timer(self.batcher.timeout(), BATCH_TIMEOUT_TAG);
+        }
+        for mb in outcome.sealed {
+            self.created += 1;
+            self.queue.push(mb.id);
+            self.store.insert(mb.clone());
+            self.gossip_out(mb, MAX_HOPS, &[], rng, &mut effects);
+        }
+        effects
+    }
+
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: ReplicaId,
+        msg: SmpMsg,
+        rng: &mut SmallRng,
+    ) -> Effects<SmpMsg> {
+        let mut effects = Effects::none();
+        match msg {
+            SmpMsg::Gossip { .. } | SmpMsg::Microblock(_) => {
+                let (mb, hops) = match msg {
+                    SmpMsg::Gossip { mb, hops } => (mb, hops),
+                    SmpMsg::Microblock(mb) => (mb, MAX_HOPS),
+                    _ => unreachable!("outer match guarantees a microblock variant"),
+                };
+                if self.store.contains(&mb.id) {
+                    // Duplicate: do not relay again (bounded redundancy).
+                    return effects;
+                }
+                let id = mb.id;
+                let creator = mb.creator;
+                self.store.insert(mb.clone());
+                self.queue.push(id);
+                for ev in self.tracker.on_microblock(id, &self.store, now) {
+                    effects.event(ev);
+                }
+                self.fetcher.prune(&self.store);
+                // Relay on first receipt.
+                self.relayed += 1;
+                self.gossip_out(mb, hops.saturating_sub(1), &[from, creator], rng, &mut effects);
+            }
+            SmpMsg::Fetch { ids } => {
+                let mbs: Vec<Microblock> =
+                    ids.iter().filter_map(|id| self.store.get(id).cloned()).collect();
+                if !mbs.is_empty() {
+                    effects.send(from, SmpMsg::FetchResp { mbs });
+                }
+            }
+            SmpMsg::FetchResp { mbs } => {
+                for mb in mbs {
+                    let id = mb.id;
+                    if self.store.insert(mb) {
+                        for ev in self.tracker.on_microblock(id, &self.store, now) {
+                            effects.event(ev);
+                        }
+                    }
+                }
+                self.fetcher.prune(&self.store);
+            }
+        }
+        effects
+    }
+
+    fn on_timer(&mut self, now: SimTime, tag: TimerTag, _rng: &mut SmallRng) -> Effects<SmpMsg> {
+        let mut effects = Effects::none();
+        if tag == BATCH_TIMEOUT_TAG {
+            if let Some(mb) = self.batcher.on_timeout(now) {
+                self.created += 1;
+                self.queue.push(mb.id);
+                self.store.insert(mb.clone());
+                // The relay uses a dedicated RNG-free path on timeout: pick
+                // the first `fanout` peers deterministically after a rotation
+                // keyed by the microblock id for spread.
+                let start = (mb.id.digest().short() % self.n as u64) as u32;
+                let peers: Vec<ReplicaId> = (0..self.n as u32)
+                    .map(|i| ReplicaId((start + i) % self.n as u32))
+                    .filter(|r| *r != self.me)
+                    .take(self.fanout)
+                    .collect();
+                effects.multicast(peers, SmpMsg::Gossip { mb, hops: MAX_HOPS - 1 });
+            }
+        } else if FetchRetryState::owns_tag(tag) {
+            if let Some(action) = self.fetcher.on_timer(tag, &self.store) {
+                effects.send(action.target, SmpMsg::Fetch { ids: action.ids });
+                effects.timer(self.fetcher.timeout, action.tag);
+            }
+        }
+        effects
+    }
+
+    fn make_payload(&mut self, _now: SimTime) -> Payload {
+        let mut refs = Vec::new();
+        while refs.len() < self.max_refs {
+            let Some(id) = self.queue.pop() else { break };
+            let Some(mb) = self.store.get(&id) else { continue };
+            refs.push(MicroblockRef::unproven(id, mb.creator, mb.len() as u32));
+        }
+        if refs.is_empty() {
+            Payload::Empty
+        } else {
+            Payload::Refs(refs)
+        }
+    }
+
+    fn on_proposal(
+        &mut self,
+        _now: SimTime,
+        proposal: &Proposal,
+        _rng: &mut SmallRng,
+    ) -> (FillStatus, Effects<SmpMsg>) {
+        let mut effects = Effects::none();
+        let refs = match &proposal.payload {
+            Payload::Refs(refs) => refs,
+            _ => return (FillStatus::Ready, effects),
+        };
+        let mut missing = Vec::new();
+        let mut creators = Vec::new();
+        for r in refs {
+            self.queue.remove(&r.id);
+            if !self.store.contains(&r.id) {
+                missing.push(r.id);
+                creators.push(r.creator);
+            }
+        }
+        if missing.is_empty() {
+            return (FillStatus::Ready, effects);
+        }
+        self.tracker.track(proposal, missing.clone(), true);
+        // Fetch from the creators first, then fall back to the proposer.
+        let mut candidates = creators;
+        candidates.push(proposal.proposer);
+        candidates.dedup();
+        let action = self.fetcher.register(missing.clone(), candidates);
+        effects.send(action.target, SmpMsg::Fetch { ids: action.ids });
+        effects.timer(self.fetcher.timeout, action.tag);
+        effects.event(MempoolEvent::FetchIssued { count: missing.len() as u32 });
+        (FillStatus::MustWait(missing), effects)
+    }
+
+    fn on_commit(&mut self, now: SimTime, proposal: &Proposal) -> Effects<SmpMsg> {
+        let mut effects = Effects::none();
+        if let Payload::Refs(refs) = &proposal.payload {
+            for r in refs {
+                self.queue.remove(&r.id);
+            }
+        }
+        for ev in self.tracker.on_commit(proposal, &self.store, now) {
+            effects.event(ev);
+        }
+        effects
+    }
+
+    fn stats(&self) -> MempoolStats {
+        MempoolStats {
+            unbatched_txs: self.batcher.pending_txs(),
+            stored_microblocks: self.store.len(),
+            proposable_microblocks: self.queue.len(),
+            created_microblocks: self.created,
+            forwarded_microblocks: self.relayed,
+            fetches_issued: self.fetcher.issued(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use smp_types::{BlockId, ClientId, MempoolConfig, View};
+
+    fn config(n: usize) -> SystemConfig {
+        SystemConfig::new(n).with_mempool(MempoolConfig {
+            batch_size_bytes: 168 * 4,
+            ..MempoolConfig::default()
+        })
+    }
+
+    fn txs(n: usize) -> Vec<Transaction> {
+        (0..n).map(|i| Transaction::synthetic(ClientId(3), i as u64, 128, 0)).collect()
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(2)
+    }
+
+    #[test]
+    fn creator_gossips_to_fanout_peers_only() {
+        let mut mp = GossipSmp::new(&config(20), ReplicaId(0));
+        let fx = mp.on_client_txs(0, txs(4), &mut rng());
+        assert_eq!(fx.msgs.len(), 1);
+        match &fx.msgs[0].0 {
+            crate::api::Dest::Many(peers) => {
+                assert_eq!(peers.len(), DEFAULT_FANOUT);
+                assert!(!peers.contains(&ReplicaId(0)));
+            }
+            other => panic!("unexpected dest {other:?}"),
+        }
+    }
+
+    #[test]
+    fn first_receipt_is_relayed_duplicates_are_not() {
+        let mut a = GossipSmp::new(&config(20), ReplicaId(0));
+        let mut b = GossipSmp::new(&config(20), ReplicaId(1));
+        let fx = a.on_client_txs(0, txs(4), &mut rng());
+        let mb = match &fx.msgs[0].1 {
+            SmpMsg::Gossip { mb, .. } => mb.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let fx1 =
+            b.on_message(1, ReplicaId(0), SmpMsg::Gossip { mb: mb.clone(), hops: 8 }, &mut rng());
+        assert!(fx1.msgs.iter().any(|(_, m)| matches!(m, SmpMsg::Gossip { .. })));
+        let fx2 = b.on_message(2, ReplicaId(0), SmpMsg::Gossip { mb, hops: 8 }, &mut rng());
+        assert!(fx2.msgs.is_empty(), "duplicates are not relayed");
+        assert_eq!(b.relayed(), 1);
+    }
+
+    #[test]
+    fn missing_refs_fetch_from_creator() {
+        let mut a = GossipSmp::new(&config(8), ReplicaId(0));
+        let mut b = GossipSmp::new(&config(8), ReplicaId(1));
+        let _ = a.on_client_txs(0, txs(4), &mut rng());
+        let proposal =
+            Proposal::new(View(2), 1, BlockId::GENESIS, ReplicaId(5), a.make_payload(1), true);
+        let (status, fx) = b.on_proposal(5, &proposal, &mut rng());
+        assert!(matches!(status, FillStatus::MustWait(_)));
+        // First fetch target is the creator (replica 0), not the proposer.
+        match &fx.msgs[0] {
+            (crate::api::Dest::One(target), SmpMsg::Fetch { .. }) => {
+                assert_eq!(*target, ReplicaId(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn gossiped_microblocks_are_proposable_by_receivers() {
+        let mut a = GossipSmp::new(&config(8), ReplicaId(0));
+        let mut b = GossipSmp::new(&config(8), ReplicaId(1));
+        let fx = a.on_client_txs(0, txs(4), &mut rng());
+        let mb = match &fx.msgs[0].1 {
+            SmpMsg::Gossip { mb, .. } => mb.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        b.on_message(1, ReplicaId(0), SmpMsg::Gossip { mb, hops: 4 }, &mut rng());
+        assert_eq!(b.make_payload(2).ref_count(), 1);
+    }
+}

@@ -1,0 +1,39 @@
+//! Shared-mempool abstraction and baseline implementations.
+//!
+//! This crate defines the mempool interface used by every protocol in the
+//! reproduction ([`Mempool`], mirroring the paper's `ReceiveTx` /
+//! `ShareTx` / `MakeProposal` / `FillProposal` primitives) plus the
+//! baseline implementations the paper evaluates against:
+//!
+//! * [`NativeMempool`] — no sharing at all; the leader ships full
+//!   transaction data in its proposals (N-HS / N-PBFT).
+//! * [`SimpleSmp`] — best-effort broadcast of microblocks with
+//!   fetch-from-the-leader recovery (SMP-HS).
+//! * [`GossipSmp`] — epidemic dissemination with a configurable fan-out
+//!   (SMP-HS-G).
+//! * [`NarwhalMempool`] — reliable-broadcast dissemination with
+//!   availability certificates (the Narwhal baseline).
+//!
+//! The paper's own contribution — Stratus, with provably available
+//! broadcast and distributed load balancing — lives in the `stratus`
+//! crate and implements the same [`Mempool`] trait.
+
+pub mod api;
+pub mod batcher;
+pub mod fetcher;
+pub mod gossip;
+pub mod messages;
+pub mod native;
+pub mod narwhal;
+pub mod simple;
+pub mod store;
+
+pub use api::{Dest, Effects, FillStatus, Mempool, MempoolEvent, MempoolStats, TimerTag};
+pub use batcher::{BatchOutcome, TxBatcher, BATCH_TIMEOUT_TAG};
+pub use fetcher::{FetchAction, FetchRetryState, FETCH_TAG_BASE};
+pub use gossip::GossipSmp;
+pub use messages::{NarwhalMsg, SmpMsg};
+pub use native::{NativeMempool, NativeMsg};
+pub use narwhal::NarwhalMempool;
+pub use simple::{SimpleSmp, DEFAULT_FETCH_TIMEOUT};
+pub use store::{FillTracker, MicroblockStore, ProposalQueue};

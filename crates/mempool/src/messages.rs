@@ -1,0 +1,156 @@
+//! Wire messages used by the baseline shared-mempool implementations.
+
+use smp_crypto::{QuorumProof, Signature};
+use smp_types::{
+    wire, Microblock, MicroblockId, ReplicaId, WireSize,
+};
+use serde::{Deserialize, Serialize};
+
+/// Messages exchanged by the best-effort and gossip shared mempools.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum SmpMsg {
+    /// Best-effort broadcast of a microblock.
+    Microblock(Microblock),
+    /// Gossip relay of a microblock with a remaining hop budget.
+    Gossip {
+        /// The relayed microblock.
+        mb: Microblock,
+        /// Remaining relay hops.
+        hops: u8,
+    },
+    /// Request for missing microblocks.
+    Fetch {
+        /// Identifiers being requested.
+        ids: Vec<MicroblockId>,
+    },
+    /// Response carrying the requested microblocks that the responder has.
+    FetchResp {
+        /// The returned microblocks.
+        mbs: Vec<Microblock>,
+    },
+}
+
+impl SmpMsg {
+    /// Stable label for bandwidth accounting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SmpMsg::Microblock(_) => "microblock",
+            SmpMsg::Gossip { .. } => "microblock",
+            SmpMsg::Fetch { .. } => "fetch-req",
+            SmpMsg::FetchResp { .. } => "fetch-resp",
+        }
+    }
+}
+
+impl WireSize for SmpMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            SmpMsg::Microblock(mb) => mb.wire_size(),
+            SmpMsg::Gossip { mb, .. } => mb.wire_size() + 1,
+            SmpMsg::Fetch { ids } => wire::FETCH_REQUEST_BYTES + ids.len() * 32,
+            SmpMsg::FetchResp { mbs } => 16 + mbs.iter().map(WireSize::wire_size).sum::<usize>(),
+        }
+    }
+}
+
+/// Messages exchanged by the Narwhal-style reliable-broadcast mempool.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum NarwhalMsg {
+    /// The worker batch (microblock) itself.
+    Batch(Microblock),
+    /// Echo of a batch digest, signed by the echoing replica.
+    Echo {
+        /// Batch being echoed.
+        id: MicroblockId,
+        /// Echoing replica's signature over the batch id.
+        sig: Signature,
+    },
+    /// Ready message of Bracha-style reliable broadcast, signed.
+    Ready {
+        /// Batch the replica is ready to deliver.
+        id: MicroblockId,
+        /// Signature over the batch id.
+        sig: Signature,
+    },
+    /// Availability certificate assembled from `2f + 1` ready signatures.
+    Certificate {
+        /// Certified batch.
+        id: MicroblockId,
+        /// Creator of the batch.
+        creator: ReplicaId,
+        /// Number of transactions in the batch.
+        tx_count: u32,
+        /// The certificate.
+        proof: QuorumProof,
+    },
+    /// Request for missing batches.
+    Fetch {
+        /// Identifiers being requested.
+        ids: Vec<MicroblockId>,
+    },
+    /// Response with the requested batches.
+    FetchResp {
+        /// The returned batches.
+        mbs: Vec<Microblock>,
+    },
+}
+
+impl NarwhalMsg {
+    /// Stable label for bandwidth accounting.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            NarwhalMsg::Batch(_) => "microblock",
+            NarwhalMsg::Echo { .. } => "rb-echo",
+            NarwhalMsg::Ready { .. } => "rb-ready",
+            NarwhalMsg::Certificate { .. } => "rb-cert",
+            NarwhalMsg::Fetch { .. } => "fetch-req",
+            NarwhalMsg::FetchResp { .. } => "fetch-resp",
+        }
+    }
+}
+
+impl WireSize for NarwhalMsg {
+    fn wire_size(&self) -> usize {
+        match self {
+            NarwhalMsg::Batch(mb) => mb.wire_size(),
+            NarwhalMsg::Echo { .. } | NarwhalMsg::Ready { .. } => wire::ACK_BYTES,
+            NarwhalMsg::Certificate { proof, .. } => 40 + proof.wire_size(),
+            NarwhalMsg::Fetch { ids } => wire::FETCH_REQUEST_BYTES + ids.len() * 32,
+            NarwhalMsg::FetchResp { mbs } => {
+                16 + mbs.iter().map(WireSize::wire_size).sum::<usize>()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_types::{ClientId, Transaction};
+
+    fn mb(n: usize) -> Microblock {
+        let txs = (0..n).map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0)).collect();
+        Microblock::seal(ReplicaId(0), txs, 0)
+    }
+
+    #[test]
+    fn smp_msg_kinds_and_sizes() {
+        let m = SmpMsg::Microblock(mb(10));
+        assert_eq!(m.kind(), "microblock");
+        assert!(m.wire_size() > 10 * 128);
+        let f = SmpMsg::Fetch { ids: vec![mb(1).id, mb(2).id] };
+        assert_eq!(f.kind(), "fetch-req");
+        assert!(f.wire_size() < 200);
+        let g = SmpMsg::Gossip { mb: mb(5), hops: 3 };
+        assert_eq!(g.kind(), "microblock");
+    }
+
+    #[test]
+    fn narwhal_control_messages_are_small() {
+        let kp = smp_crypto::KeyPair::derive(1, 0);
+        let sig = Signature::sign(&kp.secret, &mb(1).id.digest());
+        assert!(NarwhalMsg::Echo { id: mb(1).id, sig }.wire_size() <= 128);
+        assert!(NarwhalMsg::Ready { id: mb(1).id, sig }.wire_size() <= 128);
+        assert_eq!(NarwhalMsg::Batch(mb(3)).kind(), "microblock");
+    }
+}

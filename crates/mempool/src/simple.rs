@@ -1,0 +1,366 @@
+//! The simple shared mempool (SMP-HS in the paper): best-effort broadcast
+//! of microblocks plus fetch-from-the-leader for anything missing.
+//!
+//! This is the baseline Stratus is compared against in Figures 7–9.  Its
+//! weakness (Problem-I, Section III-E) is that a proposal can reference
+//! microblocks a replica never received — the replica must then fetch them
+//! from the leader *before consensus can make progress*, which congests
+//! the leader and triggers view changes under asynchrony or Byzantine
+//! senders.
+
+use crate::api::{Effects, FillStatus, Mempool, MempoolEvent, MempoolStats, TimerTag};
+use crate::batcher::{TxBatcher, BATCH_TIMEOUT_TAG};
+use crate::fetcher::FetchRetryState;
+use crate::messages::SmpMsg;
+use crate::store::{FillTracker, MicroblockStore, ProposalQueue};
+use rand::rngs::SmallRng;
+use smp_types::{
+    Microblock, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig, Transaction,
+};
+
+/// Default fetch retry timeout (the paper's `δ`).
+pub const DEFAULT_FETCH_TIMEOUT: SimTime = 500 * smp_types::MICROS_PER_MS;
+
+/// Best-effort shared mempool.
+#[derive(Clone, Debug)]
+pub struct SimpleSmp {
+    me: ReplicaId,
+    max_refs: usize,
+    batcher: TxBatcher,
+    store: MicroblockStore,
+    queue: ProposalQueue,
+    tracker: FillTracker,
+    fetcher: FetchRetryState,
+    created: u64,
+}
+
+impl SimpleSmp {
+    /// Creates the mempool for replica `me`.
+    pub fn new(config: &SystemConfig, me: ReplicaId) -> Self {
+        SimpleSmp {
+            me,
+            max_refs: config.mempool.max_refs_per_proposal,
+            batcher: TxBatcher::new(me, config.mempool),
+            store: MicroblockStore::new(),
+            queue: ProposalQueue::new(),
+            tracker: FillTracker::new(),
+            fetcher: FetchRetryState::new(DEFAULT_FETCH_TIMEOUT),
+            created: 0,
+        }
+    }
+
+    /// Access to the microblock store (used by tests and the replica).
+    pub fn store(&self) -> &MicroblockStore {
+        &self.store
+    }
+
+    /// The replica this mempool belongs to.
+    pub fn id(&self) -> ReplicaId {
+        self.me
+    }
+
+    fn disseminate(&mut self, mb: Microblock, effects: &mut Effects<SmpMsg>) {
+        self.created += 1;
+        self.queue.push(mb.id);
+        self.store.insert(mb.clone());
+        effects.broadcast(SmpMsg::Microblock(mb));
+    }
+
+    fn ingest_microblock(&mut self, now: SimTime, mb: Microblock, effects: &mut Effects<SmpMsg>) {
+        let id = mb.id;
+        if !self.store.insert(mb) {
+            return;
+        }
+        // Newly learned microblocks become proposable by this replica too.
+        self.queue.push(id);
+        for ev in self.tracker.on_microblock(id, &self.store, now) {
+            effects.event(ev);
+        }
+        self.fetcher.prune(&self.store);
+    }
+}
+
+impl Mempool for SimpleSmp {
+    type Msg = SmpMsg;
+
+    fn on_client_txs(
+        &mut self,
+        now: SimTime,
+        txs: Vec<Transaction>,
+        _rng: &mut SmallRng,
+    ) -> Effects<SmpMsg> {
+        let mut effects = Effects::none();
+        let outcome = self.batcher.add(now, txs);
+        if outcome.arm_timer {
+            effects.timer(self.batcher.timeout(), BATCH_TIMEOUT_TAG);
+        }
+        for mb in outcome.sealed {
+            self.disseminate(mb, &mut effects);
+        }
+        effects
+    }
+
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: ReplicaId,
+        msg: SmpMsg,
+        _rng: &mut SmallRng,
+    ) -> Effects<SmpMsg> {
+        let mut effects = Effects::none();
+        match msg {
+            SmpMsg::Microblock(mb) | SmpMsg::Gossip { mb, .. } => {
+                self.ingest_microblock(now, mb, &mut effects);
+            }
+            SmpMsg::Fetch { ids } => {
+                let mbs: Vec<Microblock> =
+                    ids.iter().filter_map(|id| self.store.get(id).cloned()).collect();
+                if !mbs.is_empty() {
+                    effects.send(from, SmpMsg::FetchResp { mbs });
+                }
+            }
+            SmpMsg::FetchResp { mbs } => {
+                for mb in mbs {
+                    let id = mb.id;
+                    if self.store.insert(mb) {
+                        for ev in self.tracker.on_microblock(id, &self.store, now) {
+                            effects.event(ev);
+                        }
+                    }
+                }
+                self.fetcher.prune(&self.store);
+            }
+        }
+        effects
+    }
+
+    fn on_timer(&mut self, now: SimTime, tag: TimerTag, _rng: &mut SmallRng) -> Effects<SmpMsg> {
+        let mut effects = Effects::none();
+        if tag == BATCH_TIMEOUT_TAG {
+            if let Some(mb) = self.batcher.on_timeout(now) {
+                self.disseminate(mb, &mut effects);
+            }
+        } else if FetchRetryState::owns_tag(tag) {
+            if let Some(action) = self.fetcher.on_timer(tag, &self.store) {
+                effects.send(action.target, SmpMsg::Fetch { ids: action.ids });
+                effects.timer(self.fetcher.timeout, action.tag);
+            }
+        }
+        effects
+    }
+
+    fn make_payload(&mut self, _now: SimTime) -> Payload {
+        let mut refs = Vec::new();
+        while refs.len() < self.max_refs {
+            let Some(id) = self.queue.pop() else { break };
+            let Some(mb) = self.store.get(&id) else { continue };
+            refs.push(MicroblockRef::unproven(id, mb.creator, mb.len() as u32));
+        }
+        if refs.is_empty() {
+            Payload::Empty
+        } else {
+            Payload::Refs(refs)
+        }
+    }
+
+    fn on_proposal(
+        &mut self,
+        _now: SimTime,
+        proposal: &Proposal,
+        _rng: &mut SmallRng,
+    ) -> (FillStatus, Effects<SmpMsg>) {
+        let mut effects = Effects::none();
+        let refs = match &proposal.payload {
+            Payload::Refs(refs) => refs,
+            Payload::Inline(_) | Payload::Empty => return (FillStatus::Ready, effects),
+        };
+        let mut missing = Vec::new();
+        for r in refs {
+            // Referenced microblocks are no longer proposable by us.
+            self.queue.remove(&r.id);
+            if !self.store.contains(&r.id) {
+                missing.push(r.id);
+            }
+        }
+        if missing.is_empty() {
+            return (FillStatus::Ready, effects);
+        }
+        // Best-effort SMP: consensus is blocked; fetch everything from the
+        // leader that proposed it (Section III-E, Problem-I).
+        self.tracker.track(proposal, missing.clone(), true);
+        let action = self.fetcher.register(missing.clone(), vec![proposal.proposer]);
+        effects.send(action.target, SmpMsg::Fetch { ids: action.ids });
+        effects.timer(self.fetcher.timeout, action.tag);
+        effects.event(MempoolEvent::FetchIssued { count: missing.len() as u32 });
+        (FillStatus::MustWait(missing), effects)
+    }
+
+    fn on_commit(&mut self, now: SimTime, proposal: &Proposal) -> Effects<SmpMsg> {
+        let mut effects = Effects::none();
+        if let Payload::Refs(refs) = &proposal.payload {
+            for r in refs {
+                self.queue.remove(&r.id);
+            }
+        }
+        for ev in self.tracker.on_commit(proposal, &self.store, now) {
+            effects.event(ev);
+        }
+        effects
+    }
+
+    fn stats(&self) -> MempoolStats {
+        MempoolStats {
+            unbatched_txs: self.batcher.pending_txs(),
+            stored_microblocks: self.store.len(),
+            proposable_microblocks: self.queue.len(),
+            created_microblocks: self.created,
+            forwarded_microblocks: 0,
+            fetches_issued: self.fetcher.issued(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use smp_types::{BlockId, ClientId, MempoolConfig, View};
+
+    fn config() -> SystemConfig {
+        SystemConfig::new(4).with_mempool(MempoolConfig {
+            batch_size_bytes: 168 * 4, // 4 transactions of 128 B payload
+            ..MempoolConfig::default()
+        })
+    }
+
+    fn txs(base: u64, n: usize) -> Vec<Transaction> {
+        (0..n).map(|i| Transaction::synthetic(ClientId(9), base + i as u64, 128, 0)).collect()
+    }
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn sealed_microblocks_are_broadcast_and_queued() {
+        let mut mp = SimpleSmp::new(&config(), ReplicaId(0));
+        let fx = mp.on_client_txs(0, txs(0, 4), &mut rng());
+        assert_eq!(fx.msgs.len(), 1, "one broadcast for the sealed batch");
+        assert!(matches!(fx.msgs[0].1, SmpMsg::Microblock(_)));
+        let payload = mp.make_payload(1);
+        assert_eq!(payload.ref_count(), 1);
+    }
+
+    #[test]
+    fn partial_batch_is_sealed_on_timeout() {
+        let mut mp = SimpleSmp::new(&config(), ReplicaId(0));
+        let fx = mp.on_client_txs(0, txs(0, 2), &mut rng());
+        assert!(fx.msgs.is_empty());
+        assert_eq!(fx.timers, vec![(200_000, BATCH_TIMEOUT_TAG)]);
+        let fx = mp.on_timer(200_000, BATCH_TIMEOUT_TAG, &mut rng());
+        assert_eq!(fx.msgs.len(), 1);
+    }
+
+    #[test]
+    fn received_microblocks_become_proposable() {
+        let mut a = SimpleSmp::new(&config(), ReplicaId(0));
+        let mut b = SimpleSmp::new(&config(), ReplicaId(1));
+        let fx = a.on_client_txs(0, txs(0, 4), &mut rng());
+        let mb = match &fx.msgs[0].1 {
+            SmpMsg::Microblock(mb) => mb.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        b.on_message(10, ReplicaId(0), SmpMsg::Microblock(mb), &mut rng());
+        assert_eq!(b.make_payload(20).ref_count(), 1);
+    }
+
+    #[test]
+    fn missing_refs_block_consensus_and_fetch_from_leader() {
+        let mut a = SimpleSmp::new(&config(), ReplicaId(0));
+        let mut b = SimpleSmp::new(&config(), ReplicaId(1));
+        // Replica 0 seals a microblock that replica 1 never receives.
+        let _ = a.on_client_txs(0, txs(0, 4), &mut rng());
+        let payload = a.make_payload(1);
+        let proposal = Proposal::new(View(3), 1, BlockId::GENESIS, ReplicaId(0), payload, true);
+        let (status, fx) = b.on_proposal(10, &proposal, &mut rng());
+        match status {
+            FillStatus::MustWait(ids) => assert_eq!(ids.len(), 1),
+            other => panic!("unexpected {other:?}"),
+        }
+        // Fetch goes to the proposer (leader).
+        assert!(fx.msgs.iter().any(|(dest, msg)| {
+            matches!(msg, SmpMsg::Fetch { .. }) && *dest == crate::api::Dest::One(ReplicaId(0))
+        }));
+        assert!(fx.events.iter().any(|e| matches!(e, MempoolEvent::FetchIssued { count: 1 })));
+    }
+
+    #[test]
+    fn fetch_response_unblocks_proposal() {
+        let mut a = SimpleSmp::new(&config(), ReplicaId(0));
+        let mut b = SimpleSmp::new(&config(), ReplicaId(1));
+        let fx = a.on_client_txs(0, txs(0, 4), &mut rng());
+        let mb = match &fx.msgs[0].1 {
+            SmpMsg::Microblock(mb) => mb.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        let proposal =
+            Proposal::new(View(3), 1, BlockId::GENESIS, ReplicaId(0), a.make_payload(1), true);
+        let (_, _) = b.on_proposal(10, &proposal, &mut rng());
+        // The leader answers the fetch.
+        let fetch_fx = a.on_message(
+            20,
+            ReplicaId(1),
+            SmpMsg::Fetch { ids: vec![mb.id] },
+            &mut rng(),
+        );
+        let resp = fetch_fx.msgs[0].1.clone();
+        let fx = b.on_message(30, ReplicaId(0), resp, &mut rng());
+        assert!(fx
+            .events
+            .iter()
+            .any(|e| matches!(e, MempoolEvent::ProposalReady { proposal: p } if *p == proposal.id)));
+    }
+
+    #[test]
+    fn fetch_timer_retries_until_satisfied() {
+        let mut a = SimpleSmp::new(&config(), ReplicaId(0));
+        let mut b = SimpleSmp::new(&config(), ReplicaId(1));
+        let _ = a.on_client_txs(0, txs(0, 4), &mut rng());
+        let proposal =
+            Proposal::new(View(3), 1, BlockId::GENESIS, ReplicaId(0), a.make_payload(1), true);
+        let (_, fx) = b.on_proposal(10, &proposal, &mut rng());
+        let (_, tag) = fx.timers[0];
+        // Timer fires with the microblock still missing: a retry is issued.
+        let retry_fx = b.on_timer(10 + DEFAULT_FETCH_TIMEOUT, tag, &mut rng());
+        assert!(retry_fx.msgs.iter().any(|(_, m)| matches!(m, SmpMsg::Fetch { .. })));
+        assert_eq!(b.stats().fetches_issued, 2);
+    }
+
+    #[test]
+    fn commit_executes_locally_available_proposals() {
+        let mut a = SimpleSmp::new(&config(), ReplicaId(0));
+        let _ = a.on_client_txs(5, txs(0, 4), &mut rng());
+        let proposal =
+            Proposal::new(View(3), 1, BlockId::GENESIS, ReplicaId(0), a.make_payload(1), true);
+        let fx = a.on_commit(50, &proposal);
+        assert!(fx.events.iter().any(|e| matches!(
+            e,
+            MempoolEvent::Executed { tx_count: 4, .. }
+        )));
+    }
+
+    #[test]
+    fn duplicate_microblocks_are_ignored() {
+        let mut b = SimpleSmp::new(&config(), ReplicaId(1));
+        let mut a = SimpleSmp::new(&config(), ReplicaId(0));
+        let fx = a.on_client_txs(0, txs(0, 4), &mut rng());
+        let mb = match &fx.msgs[0].1 {
+            SmpMsg::Microblock(mb) => mb.clone(),
+            other => panic!("unexpected {other:?}"),
+        };
+        b.on_message(1, ReplicaId(0), SmpMsg::Microblock(mb.clone()), &mut rng());
+        b.on_message(2, ReplicaId(0), SmpMsg::Microblock(mb), &mut rng());
+        assert_eq!(b.stats().stored_microblocks, 1);
+        assert_eq!(b.stats().proposable_microblocks, 1);
+    }
+}

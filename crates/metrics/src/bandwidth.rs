@@ -1,0 +1,136 @@
+//! Outbound bandwidth accounting (Table III).
+//!
+//! The paper reports outbound bandwidth consumption, in Mb/s, split by
+//! role (leader vs. non-leader) and by message kind (proposals,
+//! microblocks, votes, acks).  [`BandwidthBreakdown`] converts raw
+//! per-kind byte counters into those rows.
+
+use serde::Serialize;
+use smp_types::{SimTime, MICROS_PER_SEC};
+use std::collections::{BTreeMap, HashMap};
+
+/// Bandwidth consumption of one role, split by message kind.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RoleBandwidth {
+    /// Mb/s per message kind.
+    pub mbps_by_kind: BTreeMap<String, f64>,
+}
+
+impl RoleBandwidth {
+    /// Total Mb/s across every message kind.
+    pub fn total_mbps(&self) -> f64 {
+        self.mbps_by_kind.values().sum()
+    }
+
+    /// Mb/s for one message kind (0.0 if absent).
+    pub fn mbps(&self, kind: &str) -> f64 {
+        self.mbps_by_kind.get(kind).copied().unwrap_or(0.0)
+    }
+}
+
+/// A leader / non-leader bandwidth breakdown over a measurement window.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct BandwidthBreakdown {
+    /// Outbound bandwidth of the (average) leader replica.
+    pub leader: RoleBandwidth,
+    /// Outbound bandwidth of the average non-leader replica.
+    pub non_leader: RoleBandwidth,
+}
+
+/// Converts a byte count over a window into Mb/s.
+pub fn bytes_to_mbps(bytes: u64, window: SimTime) -> f64 {
+    if window == 0 {
+        return 0.0;
+    }
+    bytes as f64 * 8.0 / 1_000_000.0 * MICROS_PER_SEC as f64 / window as f64
+}
+
+impl BandwidthBreakdown {
+    /// Builds a breakdown from per-kind outbound byte counters.
+    ///
+    /// * `leader_bytes` — bytes sent by replicas while acting as leader
+    ///   (averaged over `leader_count` replicas);
+    /// * `non_leader_bytes` — bytes sent by the remaining replicas
+    ///   (averaged over `non_leader_count`);
+    /// * `window` — measurement window in simulated microseconds.
+    pub fn from_bytes(
+        leader_bytes: &HashMap<&'static str, u64>,
+        leader_count: usize,
+        non_leader_bytes: &HashMap<&'static str, u64>,
+        non_leader_count: usize,
+        window: SimTime,
+    ) -> Self {
+        let to_role = |bytes: &HashMap<&'static str, u64>, count: usize| {
+            let mut role = RoleBandwidth::default();
+            for (kind, b) in bytes {
+                let per_replica = if count == 0 { 0 } else { b / count as u64 };
+                role.mbps_by_kind.insert((*kind).to_string(), bytes_to_mbps(per_replica, window));
+            }
+            role
+        };
+        BandwidthBreakdown {
+            leader: to_role(leader_bytes, leader_count),
+            non_leader: to_role(non_leader_bytes, non_leader_count),
+        }
+    }
+
+    /// Formats the breakdown as paper-style table rows.
+    pub fn rows(&self) -> Vec<(String, String, f64)> {
+        let mut out = Vec::new();
+        for (kind, mbps) in &self.leader.mbps_by_kind {
+            out.push(("leader".to_string(), kind.clone(), *mbps));
+        }
+        out.push(("leader".to_string(), "SUM".to_string(), self.leader.total_mbps()));
+        for (kind, mbps) in &self.non_leader.mbps_by_kind {
+            out.push(("non-leader".to_string(), kind.clone(), *mbps));
+        }
+        out.push(("non-leader".to_string(), "SUM".to_string(), self.non_leader.total_mbps()));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bytes_to_mbps_conversion() {
+        // 12.5 MB over 1 s = 100 Mb/s.
+        assert!((bytes_to_mbps(12_500_000, MICROS_PER_SEC) - 100.0).abs() < 1e-9);
+        // Zero window is guarded.
+        assert_eq!(bytes_to_mbps(1_000, 0), 0.0);
+    }
+
+    #[test]
+    fn breakdown_averages_per_replica() {
+        let mut leader = HashMap::new();
+        leader.insert("proposal", 25_000_000u64);
+        let mut non_leader = HashMap::new();
+        non_leader.insert("microblock", 12_500_000u64 * 3);
+        let b = BandwidthBreakdown::from_bytes(&leader, 2, &non_leader, 3, MICROS_PER_SEC);
+        // 25 MB over two leaders => 12.5 MB each => 100 Mb/s.
+        assert!((b.leader.mbps("proposal") - 100.0).abs() < 1e-9);
+        // 37.5 MB over three non-leaders => 12.5 MB each => 100 Mb/s.
+        assert!((b.non_leader.mbps("microblock") - 100.0).abs() < 1e-9);
+        assert!((b.leader.total_mbps() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rows_include_sums() {
+        let mut leader = HashMap::new();
+        leader.insert("proposal", 1_000_000u64);
+        leader.insert("vote", 500_000u64);
+        let non_leader = HashMap::new();
+        let b = BandwidthBreakdown::from_bytes(&leader, 1, &non_leader, 1, MICROS_PER_SEC);
+        let rows = b.rows();
+        assert!(rows.iter().any(|(role, kind, _)| role == "leader" && kind == "SUM"));
+        assert!(rows.iter().any(|(role, kind, _)| role == "non-leader" && kind == "SUM"));
+    }
+
+    #[test]
+    fn missing_kind_reports_zero() {
+        let b = BandwidthBreakdown::default();
+        assert_eq!(b.leader.mbps("proposal"), 0.0);
+        assert_eq!(b.leader.total_mbps(), 0.0);
+    }
+}

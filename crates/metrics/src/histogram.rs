@@ -1,0 +1,165 @@
+//! Latency histogram with percentile queries.
+
+use serde::{Deserialize, Serialize};
+use smp_types::SimTime;
+
+/// Accumulates latency samples (microseconds) and answers percentile,
+/// mean, and extrema queries.
+///
+/// Samples are stored exactly; percentile queries sort a copy on demand
+/// and cache the sorted order until the next insertion.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    samples: Vec<u64>,
+    #[serde(skip)]
+    sorted: bool,
+    sum: u128,
+    max: u64,
+    min: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        LatencyHistogram { samples: Vec::new(), sorted: true, sum: 0, max: 0, min: u64::MAX }
+    }
+
+    /// Records one latency sample in microseconds.
+    pub fn record(&mut self, latency_us: SimTime) {
+        self.samples.push(latency_us);
+        self.sorted = false;
+        self.sum += latency_us as u128;
+        self.max = self.max.max(latency_us);
+        self.min = self.min.min(latency_us);
+    }
+
+    /// Records `count` samples of the same value (useful when a block
+    /// commit contributes many identical latencies).
+    pub fn record_n(&mut self, latency_us: SimTime, count: usize) {
+        for _ in 0..count {
+            self.record(latency_us);
+        }
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        self.samples.extend_from_slice(&other.samples);
+        self.sorted = false;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of samples recorded.
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean latency in microseconds.
+    pub fn mean_us(&self) -> Option<f64> {
+        (!self.is_empty()).then(|| self.sum as f64 / self.samples.len() as f64)
+    }
+
+    /// Mean latency in milliseconds.
+    pub fn mean_ms(&self) -> Option<f64> {
+        self.mean_us().map(|us| us / 1_000.0)
+    }
+
+    /// Maximum latency in microseconds.
+    pub fn max_us(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.max)
+    }
+
+    /// Minimum latency in microseconds.
+    pub fn min_us(&self) -> Option<u64> {
+        (!self.is_empty()).then_some(self.min)
+    }
+
+    /// The `p`-th percentile (0.0–100.0) in microseconds, using the
+    /// nearest-rank method.
+    pub fn percentile_us(&mut self, p: f64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        if !self.sorted {
+            self.samples.sort_unstable();
+            self.sorted = true;
+        }
+        let p = p.clamp(0.0, 100.0);
+        let rank = ((p / 100.0) * self.samples.len() as f64).ceil() as usize;
+        let idx = rank.saturating_sub(1).min(self.samples.len() - 1);
+        Some(self.samples[idx])
+    }
+
+    /// The `p`-th percentile in milliseconds.
+    pub fn percentile_ms(&mut self, p: f64) -> Option<f64> {
+        self.percentile_us(p).map(|us| us as f64 / 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_histogram_returns_none() {
+        let mut h = LatencyHistogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.mean_us(), None);
+        assert_eq!(h.percentile_us(95.0), None);
+        assert_eq!(h.max_us(), None);
+    }
+
+    #[test]
+    fn mean_and_extrema() {
+        let mut h = LatencyHistogram::new();
+        for v in [10, 20, 30] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.mean_us(), Some(20.0));
+        assert_eq!(h.min_us(), Some(10));
+        assert_eq!(h.max_us(), Some(30));
+        assert_eq!(h.mean_ms(), Some(0.02));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=100u64 {
+            h.record(v);
+        }
+        assert_eq!(h.percentile_us(50.0), Some(50));
+        assert_eq!(h.percentile_us(95.0), Some(95));
+        assert_eq!(h.percentile_us(100.0), Some(100));
+        assert_eq!(h.percentile_us(0.0), Some(1));
+    }
+
+    #[test]
+    fn percentile_after_interleaved_inserts() {
+        let mut h = LatencyHistogram::new();
+        h.record(50);
+        assert_eq!(h.percentile_us(50.0), Some(50));
+        h.record(10);
+        h.record(90);
+        assert_eq!(h.percentile_us(50.0), Some(50));
+        assert_eq!(h.percentile_us(99.0), Some(90));
+    }
+
+    #[test]
+    fn record_n_and_merge() {
+        let mut a = LatencyHistogram::new();
+        a.record_n(5, 3);
+        let mut b = LatencyHistogram::new();
+        b.record(15);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.max_us(), Some(15));
+        assert_eq!(a.mean_us(), Some(7.5));
+    }
+}

@@ -1,0 +1,18 @@
+//! Measurement utilities for the Stratus reproduction.
+//!
+//! The paper reports three kinds of numbers: throughput (KTx/s), commit
+//! latency (ms, measured from first reception at a replica to commit), and
+//! outbound bandwidth consumption split by role and message type
+//! (Table III).  This crate provides the corresponding accumulators plus
+//! the summary/formatting helpers the benchmark harnesses use to print
+//! paper-style rows.
+
+pub mod bandwidth;
+pub mod histogram;
+pub mod summary;
+pub mod throughput;
+
+pub use bandwidth::{bytes_to_mbps, BandwidthBreakdown, RoleBandwidth};
+pub use histogram::LatencyHistogram;
+pub use summary::RunSummary;
+pub use throughput::ThroughputMeter;

@@ -1,0 +1,124 @@
+//! Per-run summaries: the numbers a single experiment point reports.
+
+use crate::bandwidth::BandwidthBreakdown;
+use crate::histogram::LatencyHistogram;
+use crate::throughput::ThroughputMeter;
+use serde::Serialize;
+use smp_types::SimTime;
+
+/// The outcome of one experiment run (one point in a paper figure).
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct RunSummary {
+    /// Human-readable label of the protocol/config (e.g. `"S-HS"`).
+    pub label: String,
+    /// Number of replicas.
+    pub n: usize,
+    /// Measurement window length (microseconds).
+    pub window_us: SimTime,
+    /// Committed throughput in KTx/s.
+    pub throughput_ktps: f64,
+    /// Mean commit latency in milliseconds.
+    pub mean_latency_ms: f64,
+    /// Median commit latency in milliseconds.
+    pub p50_latency_ms: f64,
+    /// 95th-percentile commit latency in milliseconds.
+    pub p95_latency_ms: f64,
+    /// 99th-percentile commit latency in milliseconds.
+    pub p99_latency_ms: f64,
+    /// Number of view changes observed during the window.
+    pub view_changes: u64,
+    /// Total transactions committed in the window.
+    pub committed_txs: u64,
+    /// Optional bandwidth breakdown (Table III runs).
+    pub bandwidth: Option<BandwidthBreakdown>,
+}
+
+impl RunSummary {
+    /// Builds a summary from raw accumulators over the window
+    /// `[from, to)`.
+    pub fn from_measurements(
+        label: impl Into<String>,
+        n: usize,
+        throughput: &ThroughputMeter,
+        latency: &mut LatencyHistogram,
+        view_changes: u64,
+        from: SimTime,
+        to: SimTime,
+    ) -> Self {
+        RunSummary {
+            label: label.into(),
+            n,
+            window_us: to.saturating_sub(from),
+            throughput_ktps: throughput.ktps_in(from, to),
+            mean_latency_ms: latency.mean_ms().unwrap_or(0.0),
+            p50_latency_ms: latency.percentile_ms(50.0).unwrap_or(0.0),
+            p95_latency_ms: latency.percentile_ms(95.0).unwrap_or(0.0),
+            p99_latency_ms: latency.percentile_ms(99.0).unwrap_or(0.0),
+            view_changes,
+            committed_txs: throughput.total_in(from, to),
+            bandwidth: None,
+        }
+    }
+
+    /// Attaches a bandwidth breakdown.
+    pub fn with_bandwidth(mut self, bandwidth: BandwidthBreakdown) -> Self {
+        self.bandwidth = Some(bandwidth);
+        self
+    }
+
+    /// One-line, figure-style rendering:
+    /// `label  n=..  thr=..KTx/s  lat=..ms (p95=..)  vc=..`.
+    pub fn to_row(&self) -> String {
+        format!(
+            "{:<14} n={:<4} thr={:>9.2} KTx/s  lat={:>9.1} ms (p50={:.1} p95={:.1} p99={:.1})  vc={}",
+            self.label,
+            self.n,
+            self.throughput_ktps,
+            self.mean_latency_ms,
+            self.p50_latency_ms,
+            self.p95_latency_ms,
+            self.p99_latency_ms,
+            self.view_changes
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_types::MICROS_PER_SEC;
+
+    #[test]
+    fn summary_computes_rates_and_percentiles() {
+        let mut tput = ThroughputMeter::new();
+        tput.record(500_000, 30_000);
+        let mut lat = LatencyHistogram::new();
+        for v in [1_000, 2_000, 3_000, 100_000] {
+            lat.record(v);
+        }
+        let s = RunSummary::from_measurements("S-HS", 64, &tput, &mut lat, 2, 0, MICROS_PER_SEC);
+        assert_eq!(s.committed_txs, 30_000);
+        assert!((s.throughput_ktps - 30.0).abs() < 1e-9);
+        assert!(s.p99_latency_ms >= s.p50_latency_ms);
+        assert_eq!(s.view_changes, 2);
+        assert!(s.to_row().contains("S-HS"));
+    }
+
+    #[test]
+    fn empty_measurements_produce_zeroes() {
+        let tput = ThroughputMeter::new();
+        let mut lat = LatencyHistogram::new();
+        let s = RunSummary::from_measurements("x", 4, &tput, &mut lat, 0, 0, MICROS_PER_SEC);
+        assert_eq!(s.throughput_ktps, 0.0);
+        assert_eq!(s.mean_latency_ms, 0.0);
+    }
+
+    #[test]
+    fn with_bandwidth_attaches() {
+        let tput = ThroughputMeter::new();
+        let mut lat = LatencyHistogram::new();
+        let s = RunSummary::from_measurements("x", 4, &tput, &mut lat, 0, 0, 1)
+            .with_bandwidth(BandwidthBreakdown::default());
+        assert!(s.bandwidth.is_some());
+    }
+}

@@ -1,0 +1,19 @@
+//! Replica assembly and experiment runner for the Stratus reproduction.
+//!
+//! This crate glues the pieces together the way the paper's Bamboo-based
+//! prototype does: a [`Replica`] owns a consensus engine and a mempool,
+//! routes their messages over the [`simnet`] simulator, generates its
+//! share of the client workload, and records the measurements
+//! (throughput, latency, view changes, bandwidth).  The
+//! [`experiment`] module exposes the protocol matrix of Table II and a
+//! runner that produces one figure/table data point per call.
+
+pub mod experiment;
+pub mod protocols;
+pub mod replica;
+pub mod wire;
+
+pub use experiment::{run, saturation_sweep, ExperimentConfig, ExperimentResult};
+pub use protocols::Protocol;
+pub use replica::{Behavior, Replica, ReplicaMetrics};
+pub use wire::{MempoolWire, ReplicaMsg, ReplicaPayload};

@@ -1,0 +1,127 @@
+//! The protocol matrix of Table II.
+
+use serde::{Deserialize, Serialize};
+
+/// Every protocol configuration evaluated in the paper (Table II), plus a
+/// Stratus-Streamlet integration mentioned in Section VI.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// Native HotStuff without a shared mempool (N-HS).
+    NativeHotStuff,
+    /// Native PBFT without a shared mempool (N-PBFT).
+    NativePbft,
+    /// HotStuff with a simple best-effort shared mempool (SMP-HS).
+    SmpHotStuff,
+    /// SMP-HS with gossip dissemination instead of broadcast (SMP-HS-G).
+    SmpHotStuffGossip,
+    /// HotStuff integrated with Stratus (S-HS) — this paper.
+    StratusHotStuff,
+    /// PBFT integrated with Stratus (S-PBFT) — this paper.
+    StratusPbft,
+    /// Streamlet integrated with Stratus (S-SL).
+    StratusStreamlet,
+    /// HotStuff-based shared mempool with reliable broadcast (Narwhal).
+    Narwhal,
+    /// PBFT-based multi-leader protocol (MirBFT).
+    MirBft,
+}
+
+impl Protocol {
+    /// The acronym used in the paper's figures.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Protocol::NativeHotStuff => "N-HS",
+            Protocol::NativePbft => "N-PBFT",
+            Protocol::SmpHotStuff => "SMP-HS",
+            Protocol::SmpHotStuffGossip => "SMP-HS-G",
+            Protocol::StratusHotStuff => "S-HS",
+            Protocol::StratusPbft => "S-PBFT",
+            Protocol::StratusStreamlet => "S-SL",
+            Protocol::Narwhal => "Narwhal",
+            Protocol::MirBft => "MirBFT",
+        }
+    }
+
+    /// Short description (Table II's right-hand column).
+    pub fn description(&self) -> &'static str {
+        match self {
+            Protocol::NativeHotStuff => "Native HotStuff without a shared mempool",
+            Protocol::NativePbft => "Native PBFT without a shared mempool",
+            Protocol::SmpHotStuff => "HotStuff integrated with a simple shared mempool",
+            Protocol::SmpHotStuffGossip => "SMP-HS with gossip instead of broadcast",
+            Protocol::StratusHotStuff => "HotStuff integrated with Stratus (this paper)",
+            Protocol::StratusPbft => "PBFT integrated with Stratus (this paper)",
+            Protocol::StratusStreamlet => "Streamlet integrated with Stratus (this paper)",
+            Protocol::Narwhal => "HotStuff based shared mempool with reliable broadcast",
+            Protocol::MirBft => "PBFT based multi-leader protocol",
+        }
+    }
+
+    /// Whether the protocol uses the Stratus mempool (and therefore the
+    /// prioritization / rate-limiting optimizations of Section VI).
+    pub fn is_stratus(&self) -> bool {
+        matches!(
+            self,
+            Protocol::StratusHotStuff | Protocol::StratusPbft | Protocol::StratusStreamlet
+        )
+    }
+
+    /// Whether the protocol uses any shared mempool at all.
+    pub fn uses_shared_mempool(&self) -> bool {
+        !matches!(self, Protocol::NativeHotStuff | Protocol::NativePbft | Protocol::MirBft)
+    }
+
+    /// All protocols evaluated in the scalability experiment (Figure 7).
+    pub fn figure7_set() -> Vec<Protocol> {
+        vec![
+            Protocol::NativeHotStuff,
+            Protocol::NativePbft,
+            Protocol::SmpHotStuff,
+            Protocol::StratusHotStuff,
+            Protocol::StratusPbft,
+            Protocol::Narwhal,
+            Protocol::MirBft,
+        ]
+    }
+
+    /// Every protocol in Table II.
+    pub fn all() -> Vec<Protocol> {
+        vec![
+            Protocol::NativeHotStuff,
+            Protocol::NativePbft,
+            Protocol::SmpHotStuff,
+            Protocol::SmpHotStuffGossip,
+            Protocol::StratusHotStuff,
+            Protocol::StratusPbft,
+            Protocol::StratusStreamlet,
+            Protocol::Narwhal,
+            Protocol::MirBft,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_match_the_paper() {
+        assert_eq!(Protocol::StratusHotStuff.label(), "S-HS");
+        assert_eq!(Protocol::SmpHotStuffGossip.label(), "SMP-HS-G");
+        assert_eq!(Protocol::NativeHotStuff.label(), "N-HS");
+    }
+
+    #[test]
+    fn stratus_flags() {
+        assert!(Protocol::StratusPbft.is_stratus());
+        assert!(!Protocol::SmpHotStuff.is_stratus());
+        assert!(Protocol::Narwhal.uses_shared_mempool());
+        assert!(!Protocol::NativePbft.uses_shared_mempool());
+    }
+
+    #[test]
+    fn figure7_set_has_seven_protocols() {
+        assert_eq!(Protocol::figure7_set().len(), 7);
+        assert_eq!(Protocol::all().len(), 9);
+    }
+}

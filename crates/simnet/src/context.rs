@@ -1,0 +1,184 @@
+//! The context handed to node handlers.
+//!
+//! Handlers never touch the event queue or the network directly: they
+//! record *actions* (send, broadcast, set/cancel timer, observe) through a
+//! [`NodeCtx`], and the simulation applies them after the handler returns.
+//! This keeps protocol code free of simulator internals and makes handlers
+//! trivially unit-testable.
+
+use crate::observation::{ObsKind, Observation};
+use rand::rngs::SmallRng;
+use smp_types::{ReplicaId, SimTime};
+
+/// Application-defined timer tag delivered back in `on_timer`.
+pub type TimerTag = u64;
+
+/// Handle identifying a scheduled timer, usable for cancellation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TimerHandle(pub(crate) u64);
+
+/// An action recorded by a handler.
+#[derive(Debug)]
+pub(crate) enum Action<M> {
+    Send { to: ReplicaId, msg: M },
+    SetTimer { at: SimTime, timer_id: u64, tag: TimerTag },
+    CancelTimer { timer_id: u64 },
+    Observe(Observation),
+}
+
+/// Execution context available to a node handler.
+pub struct NodeCtx<'a, M> {
+    pub(crate) id: ReplicaId,
+    pub(crate) n: usize,
+    pub(crate) now: SimTime,
+    pub(crate) rng: &'a mut SmallRng,
+    pub(crate) actions: &'a mut Vec<Action<M>>,
+    pub(crate) next_timer_id: &'a mut u64,
+}
+
+impl<'a, M> NodeCtx<'a, M> {
+    /// Identifier of the node running the handler.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Number of replicas in the system.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Deterministic per-node random number generator.
+    pub fn rng(&mut self) -> &mut SmallRng {
+        self.rng
+    }
+
+    /// Sends `msg` to `to` over the simulated network.
+    pub fn send(&mut self, to: ReplicaId, msg: M) {
+        self.actions.push(Action::Send { to, msg });
+    }
+
+    /// Sends `msg` to every replica except this one.
+    pub fn broadcast(&mut self, msg: M)
+    where
+        M: Clone,
+    {
+        for i in 0..self.n as u32 {
+            let to = ReplicaId(i);
+            if to != self.id {
+                self.send(to, msg.clone());
+            }
+        }
+    }
+
+    /// Sends `msg` to every replica in `targets`.
+    pub fn multicast(&mut self, targets: &[ReplicaId], msg: M)
+    where
+        M: Clone,
+    {
+        for &to in targets {
+            self.send(to, msg.clone());
+        }
+    }
+
+    /// Schedules a timer to fire after `delay`, returning a handle that can
+    /// cancel it.
+    pub fn set_timer(&mut self, delay: SimTime, tag: TimerTag) -> TimerHandle {
+        let timer_id = *self.next_timer_id;
+        *self.next_timer_id += 1;
+        self.actions.push(Action::SetTimer { at: self.now.saturating_add(delay), timer_id, tag });
+        TimerHandle(timer_id)
+    }
+
+    /// Cancels a previously set timer (a no-op if it already fired).
+    pub fn cancel_timer(&mut self, handle: TimerHandle) {
+        self.actions.push(Action::CancelTimer { timer_id: handle.0 });
+    }
+
+    /// Emits an observation into the simulation's observation log.
+    pub fn observe(&mut self, kind: ObsKind) {
+        self.actions.push(Action::Observe(Observation { time: self.now, node: self.id, kind }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn ctx_with<'a>(
+        actions: &'a mut Vec<Action<u32>>,
+        rng: &'a mut SmallRng,
+        next_timer: &'a mut u64,
+    ) -> NodeCtx<'a, u32> {
+        NodeCtx { id: ReplicaId(1), n: 4, now: 500, rng, actions, next_timer_id: next_timer }
+    }
+
+    #[test]
+    fn broadcast_excludes_self() {
+        let mut actions = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut next = 0;
+        let mut ctx = ctx_with(&mut actions, &mut rng, &mut next);
+        ctx.broadcast(7u32);
+        let targets: Vec<ReplicaId> = actions
+            .iter()
+            .map(|a| match a {
+                Action::Send { to, .. } => *to,
+                _ => panic!("unexpected action"),
+            })
+            .collect();
+        assert_eq!(targets, vec![ReplicaId(0), ReplicaId(2), ReplicaId(3)]);
+    }
+
+    #[test]
+    fn timers_get_unique_ids_and_absolute_times() {
+        let mut actions = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut next = 0;
+        let mut ctx = ctx_with(&mut actions, &mut rng, &mut next);
+        let h1 = ctx.set_timer(100, 1);
+        let h2 = ctx.set_timer(200, 2);
+        assert_ne!(h1, h2);
+        match (&actions[0], &actions[1]) {
+            (
+                Action::SetTimer { at: a1, .. },
+                Action::SetTimer { at: a2, .. },
+            ) => {
+                assert_eq!(*a1, 600);
+                assert_eq!(*a2, 700);
+            }
+            _ => panic!("unexpected actions"),
+        }
+    }
+
+    #[test]
+    fn multicast_targets_exactly_requested_nodes() {
+        let mut actions = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut next = 0;
+        let mut ctx = ctx_with(&mut actions, &mut rng, &mut next);
+        ctx.multicast(&[ReplicaId(0), ReplicaId(3)], 9u32);
+        assert_eq!(actions.len(), 2);
+    }
+
+    #[test]
+    fn observe_records_node_and_time() {
+        let mut actions = Vec::new();
+        let mut rng = SmallRng::seed_from_u64(0);
+        let mut next = 0;
+        let mut ctx = ctx_with(&mut actions, &mut rng, &mut next);
+        ctx.observe(ObsKind::Custom { label: "x", value: 1.0 });
+        match &actions[0] {
+            Action::Observe(o) => {
+                assert_eq!(o.node, ReplicaId(1));
+                assert_eq!(o.time, 500);
+            }
+            _ => panic!("unexpected action"),
+        }
+    }
+}

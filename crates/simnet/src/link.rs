@@ -1,0 +1,164 @@
+//! Per-node outbound link model.
+//!
+//! Every replica owns one outbound NIC with finite bandwidth.  Messages are
+//! serialized one at a time; while the NIC is busy, further messages queue.
+//! Two lanes are provided: a high-priority lane served strictly before the
+//! normal lane, which models the Stratus optimization of prioritizing the
+//! transmission of consensus messages over bulk microblock data
+//! (Section VI, "Optimizations").
+
+use smp_types::{ReplicaId, SimTime};
+use std::collections::VecDeque;
+
+/// Transmission priority of a queued message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Priority {
+    /// Consensus-critical messages (proposals, votes, proofs).
+    High,
+    /// Bulk data (microblocks, fetch responses).
+    Normal,
+}
+
+/// A message waiting on, or currently occupying, the outbound NIC.
+#[derive(Clone, Debug)]
+pub struct QueuedMessage<M> {
+    /// Destination replica.
+    pub to: ReplicaId,
+    /// The message itself.
+    pub msg: M,
+    /// Serialized size in bytes.
+    pub bytes: usize,
+    /// Time at which the message entered the queue.
+    pub enqueued_at: SimTime,
+}
+
+/// The outbound link of one replica.
+#[derive(Debug)]
+pub struct OutboundLink<M> {
+    high: VecDeque<QueuedMessage<M>>,
+    normal: VecDeque<QueuedMessage<M>>,
+    /// Whether the NIC is currently serializing a message.
+    busy: bool,
+    /// Total bytes that have entered the queue (for diagnostics).
+    pub enqueued_bytes: u64,
+    /// Total bytes fully serialized onto the wire.
+    pub transmitted_bytes: u64,
+}
+
+impl<M> Default for OutboundLink<M> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<M> OutboundLink<M> {
+    /// Creates an idle link.
+    pub fn new() -> Self {
+        OutboundLink {
+            high: VecDeque::new(),
+            normal: VecDeque::new(),
+            busy: false,
+            enqueued_bytes: 0,
+            transmitted_bytes: 0,
+        }
+    }
+
+    /// Queues a message for transmission.
+    pub fn enqueue(&mut self, item: QueuedMessage<M>, priority: Priority) {
+        self.enqueued_bytes += item.bytes as u64;
+        match priority {
+            Priority::High => self.high.push_back(item),
+            Priority::Normal => self.normal.push_back(item),
+        }
+    }
+
+    /// Whether the NIC is currently serializing a message.
+    pub fn is_busy(&self) -> bool {
+        self.busy
+    }
+
+    /// Marks the NIC busy and returns the next message to transmit, high
+    /// priority first.  Returns `None` (and stays idle) when nothing is
+    /// queued.
+    pub fn start_next(&mut self) -> Option<QueuedMessage<M>> {
+        debug_assert!(!self.busy, "start_next called while busy");
+        let next = self.high.pop_front().or_else(|| self.normal.pop_front());
+        if let Some(ref m) = next {
+            self.busy = true;
+            self.transmitted_bytes += m.bytes as u64;
+        }
+        next
+    }
+
+    /// Marks the current transmission as finished.
+    pub fn finish_current(&mut self) {
+        debug_assert!(self.busy, "finish_current called while idle");
+        self.busy = false;
+    }
+
+    /// Number of queued (not yet transmitting) messages.
+    pub fn queue_len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    /// Bytes waiting in the queue (excluding the in-flight message).
+    pub fn queued_bytes(&self) -> usize {
+        self.high.iter().chain(self.normal.iter()).map(|m| m.bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn qm(to: u32, bytes: usize) -> QueuedMessage<&'static str> {
+        QueuedMessage { to: ReplicaId(to), msg: "m", bytes, enqueued_at: 0 }
+    }
+
+    #[test]
+    fn fifo_within_a_lane() {
+        let mut link = OutboundLink::new();
+        link.enqueue(qm(1, 10), Priority::Normal);
+        link.enqueue(qm(2, 20), Priority::Normal);
+        assert_eq!(link.queue_len(), 2);
+        let a = link.start_next().unwrap();
+        assert_eq!(a.to, ReplicaId(1));
+        link.finish_current();
+        let b = link.start_next().unwrap();
+        assert_eq!(b.to, ReplicaId(2));
+    }
+
+    #[test]
+    fn high_priority_lane_is_served_first() {
+        let mut link = OutboundLink::new();
+        link.enqueue(qm(1, 10_000), Priority::Normal);
+        link.enqueue(qm(2, 100), Priority::High);
+        let first = link.start_next().unwrap();
+        assert_eq!(first.to, ReplicaId(2), "high-priority message should jump the queue");
+    }
+
+    #[test]
+    fn busy_state_toggles() {
+        let mut link = OutboundLink::new();
+        assert!(!link.is_busy());
+        link.enqueue(qm(1, 10), Priority::Normal);
+        let _ = link.start_next().unwrap();
+        assert!(link.is_busy());
+        link.finish_current();
+        assert!(!link.is_busy());
+        assert!(link.start_next().is_none());
+        assert!(!link.is_busy());
+    }
+
+    #[test]
+    fn byte_accounting() {
+        let mut link = OutboundLink::new();
+        link.enqueue(qm(1, 10), Priority::Normal);
+        link.enqueue(qm(2, 30), Priority::High);
+        assert_eq!(link.enqueued_bytes, 40);
+        assert_eq!(link.queued_bytes(), 40);
+        let _ = link.start_next().unwrap();
+        assert_eq!(link.transmitted_bytes, 30);
+        assert_eq!(link.queued_bytes(), 10);
+    }
+}

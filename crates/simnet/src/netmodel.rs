@@ -1,0 +1,195 @@
+//! Network environment model: bandwidth, latency, jitter, fault windows.
+
+use rand::Rng;
+use smp_types::{NetworkPreset, ReplicaId, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A window of simulated time during which inter-replica delays are
+/// replaced by a (usually much larger) uniformly random delay.
+///
+/// This reproduces the Figure 8 experiment, where NetEm injects delays
+/// fluctuating between 100 ms and 300 ms for 10 seconds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultWindow {
+    /// Window start (inclusive).
+    pub start: SimTime,
+    /// Window end (exclusive).
+    pub end: SimTime,
+    /// Minimum one-way delay during the window.
+    pub min_delay_us: SimTime,
+    /// Maximum one-way delay during the window.
+    pub max_delay_us: SimTime,
+}
+
+impl FaultWindow {
+    /// Whether `t` falls inside the window.
+    pub fn contains(&self, t: SimTime) -> bool {
+        t >= self.start && t < self.end
+    }
+}
+
+/// Complete description of the simulated network environment.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct NetConfig {
+    /// Per-replica outbound bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Base one-way propagation delay between distinct replicas.
+    pub one_way_delay_us: SimTime,
+    /// Uniform jitter added to each message's propagation delay.
+    pub jitter_us: SimTime,
+    /// CPU speed factor: message CPU costs are divided by this (1.0 models
+    /// the paper's 4-vCPU instances; larger is faster hardware).
+    pub cpu_speed: f64,
+    /// Asynchrony windows (Figure 8).
+    pub fault_windows: Vec<FaultWindow>,
+    /// Per-replica bandwidth overrides (bits per second); used to model
+    /// heterogeneous capacity.
+    pub bandwidth_overrides: Vec<(ReplicaId, u64)>,
+    /// Fraction of outbound bandwidth reserved for the high-priority lane
+    /// when both lanes are backlogged (Stratus prioritization).  The
+    /// high-priority lane may always use idle capacity.
+    pub priority_share: f64,
+}
+
+impl NetConfig {
+    /// The paper's LAN environment (3 Gb/s, < 10 ms RTT).
+    pub fn lan() -> Self {
+        NetConfig::from_preset(NetworkPreset::Lan)
+    }
+
+    /// The paper's WAN environment (100 Mb/s, 100 ms RTT).
+    pub fn wan() -> Self {
+        NetConfig::from_preset(NetworkPreset::Wan)
+    }
+
+    /// Builds a config from a [`NetworkPreset`].
+    pub fn from_preset(preset: NetworkPreset) -> Self {
+        NetConfig {
+            bandwidth_bps: preset.bandwidth_bps(),
+            one_way_delay_us: preset.one_way_delay_us(),
+            jitter_us: preset.jitter_us(),
+            cpu_speed: 1.0,
+            fault_windows: Vec::new(),
+            bandwidth_overrides: Vec::new(),
+            priority_share: 0.1,
+        }
+    }
+
+    /// Adds an asynchrony window.
+    pub fn with_fault_window(mut self, w: FaultWindow) -> Self {
+        self.fault_windows.push(w);
+        self
+    }
+
+    /// Overrides the outbound bandwidth of one replica.
+    pub fn with_bandwidth_override(mut self, replica: ReplicaId, bps: u64) -> Self {
+        self.bandwidth_overrides.push((replica, bps));
+        self
+    }
+
+    /// Outbound bandwidth of `replica` in bits per second.
+    pub fn bandwidth_of(&self, replica: ReplicaId) -> u64 {
+        self.bandwidth_overrides
+            .iter()
+            .find(|(r, _)| *r == replica)
+            .map(|(_, b)| *b)
+            .unwrap_or(self.bandwidth_bps)
+    }
+
+    /// Time to push `bytes` bytes through `replica`'s outbound NIC.
+    pub fn serialization_us(&self, replica: ReplicaId, bytes: usize) -> SimTime {
+        let bps = self.bandwidth_of(replica).max(1);
+        // bytes * 8 bits / (bits per second) => seconds; scale to micros.
+        let us = (bytes as f64 * 8.0 * 1_000_000.0) / bps as f64;
+        us.ceil() as SimTime
+    }
+
+    /// One-way propagation delay for a message sent at time `now`,
+    /// including jitter and any active fault window.
+    pub fn propagation_us<R: Rng>(
+        &self,
+        from: ReplicaId,
+        to: ReplicaId,
+        now: SimTime,
+        rng: &mut R,
+    ) -> SimTime {
+        if from == to {
+            // Loopback delivery is effectively immediate.
+            return 1;
+        }
+        if let Some(w) = self.fault_windows.iter().find(|w| w.contains(now)) {
+            let span = w.max_delay_us.saturating_sub(w.min_delay_us);
+            let extra = if span == 0 { 0 } else { rng.gen_range(0..=span) };
+            return w.min_delay_us + extra;
+        }
+        let jitter = if self.jitter_us == 0 { 0 } else { rng.gen_range(0..=self.jitter_us) };
+        self.one_way_delay_us + jitter
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::SmallRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn presets_match_paper_environments() {
+        let lan = NetConfig::lan();
+        let wan = NetConfig::wan();
+        assert_eq!(lan.bandwidth_bps, 3_000_000_000);
+        assert_eq!(wan.bandwidth_bps, 100_000_000);
+        assert_eq!(wan.one_way_delay_us, 50_000);
+    }
+
+    #[test]
+    fn serialization_time_scales_with_size_and_bandwidth() {
+        let wan = NetConfig::wan();
+        // 100 Mb/s => 12.5 MB/s => 1 MB takes 80 ms.
+        let t = wan.serialization_us(ReplicaId(0), 1_000_000);
+        assert_eq!(t, 80_000);
+        let lan = NetConfig::lan();
+        assert!(lan.serialization_us(ReplicaId(0), 1_000_000) < t);
+    }
+
+    #[test]
+    fn bandwidth_override_applies_to_specific_replica() {
+        let cfg = NetConfig::wan().with_bandwidth_override(ReplicaId(3), 10_000_000);
+        assert_eq!(cfg.bandwidth_of(ReplicaId(3)), 10_000_000);
+        assert_eq!(cfg.bandwidth_of(ReplicaId(4)), 100_000_000);
+        assert!(cfg.serialization_us(ReplicaId(3), 1000) > cfg.serialization_us(ReplicaId(4), 1000));
+    }
+
+    #[test]
+    fn propagation_respects_fault_window() {
+        let cfg = NetConfig::wan().with_fault_window(FaultWindow {
+            start: 1_000_000,
+            end: 2_000_000,
+            min_delay_us: 100_000,
+            max_delay_us: 300_000,
+        });
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..50 {
+            let inside = cfg.propagation_us(ReplicaId(0), ReplicaId(1), 1_500_000, &mut rng);
+            assert!((100_000..=300_000).contains(&inside));
+            let outside = cfg.propagation_us(ReplicaId(0), ReplicaId(1), 500_000, &mut rng);
+            assert!(outside >= 50_000 && outside <= 50_000 + cfg.jitter_us);
+        }
+    }
+
+    #[test]
+    fn loopback_is_instant() {
+        let cfg = NetConfig::lan();
+        let mut rng = SmallRng::seed_from_u64(1);
+        assert_eq!(cfg.propagation_us(ReplicaId(2), ReplicaId(2), 0, &mut rng), 1);
+    }
+
+    #[test]
+    fn fault_window_bounds_are_half_open() {
+        let w = FaultWindow { start: 10, end: 20, min_delay_us: 1, max_delay_us: 2 };
+        assert!(!w.contains(9));
+        assert!(w.contains(10));
+        assert!(w.contains(19));
+        assert!(!w.contains(20));
+    }
+}

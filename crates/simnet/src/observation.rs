@@ -1,0 +1,206 @@
+//! Observations: lightweight events emitted by nodes for time-series
+//! analysis (throughput over time, view changes, microblock stability).
+
+use serde::Serialize;
+use smp_types::{ReplicaId, SimTime, MICROS_PER_SEC};
+
+/// What happened.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub enum ObsKind {
+    /// A block committed on this replica ordering `txs` transactions.
+    Committed {
+        /// Number of transactions in the committed block.
+        txs: u32,
+        /// Sum of commit latencies (microseconds) over those transactions
+        /// whose reception time is known on this replica.
+        latency_sum_us: u64,
+        /// Number of transactions contributing to `latency_sum_us`.
+        latency_count: u32,
+    },
+    /// A view change (pacemaker timeout / leader replacement) started.
+    ViewChange {
+        /// The view being abandoned.
+        view: u64,
+    },
+    /// A microblock this replica disseminated became provably available.
+    MicroblockStable {
+        /// Time from broadcast to stability (microseconds).
+        stable_time_us: u64,
+    },
+    /// A fetch for missing microblocks was issued while filling a proposal.
+    MissingFetch {
+        /// Number of microblocks that had to be fetched.
+        count: u32,
+    },
+    /// Free-form metric.
+    Custom {
+        /// Label identifying the metric.
+        label: &'static str,
+        /// Value.
+        value: f64,
+    },
+}
+
+/// A timestamped observation from one node.
+#[derive(Clone, Debug, PartialEq, Serialize)]
+pub struct Observation {
+    /// Simulated time of the observation.
+    pub time: SimTime,
+    /// Node that emitted it.
+    pub node: ReplicaId,
+    /// What happened.
+    pub kind: ObsKind,
+}
+
+/// An append-only log of observations with aggregation helpers.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct ObservationLog {
+    entries: Vec<Observation>,
+}
+
+impl ObservationLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        ObservationLog { entries: Vec::new() }
+    }
+
+    /// Appends an observation.
+    pub fn push(&mut self, obs: Observation) {
+        self.entries.push(obs);
+    }
+
+    /// All recorded observations, in emission order.
+    pub fn entries(&self) -> &[Observation] {
+        &self.entries
+    }
+
+    /// Number of observations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Total transactions committed on `node` (or on all nodes if `None`).
+    pub fn committed_txs(&self, node: Option<ReplicaId>) -> u64 {
+        self.entries
+            .iter()
+            .filter(|o| node.is_none_or(|n| o.node == n))
+            .map(|o| match o.kind {
+                ObsKind::Committed { txs, .. } => txs as u64,
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Number of view changes observed on `node` (or all nodes).
+    pub fn view_changes(&self, node: Option<ReplicaId>) -> u64 {
+        self.entries
+            .iter()
+            .filter(|o| node.is_none_or(|n| o.node == n))
+            .filter(|o| matches!(o.kind, ObsKind::ViewChange { .. }))
+            .count() as u64
+    }
+
+    /// Throughput time series for `node`: committed transactions per
+    /// second, bucketed into `bucket_us`-wide bins covering `[0, horizon)`.
+    pub fn throughput_series(
+        &self,
+        node: ReplicaId,
+        bucket_us: SimTime,
+        horizon: SimTime,
+    ) -> Vec<f64> {
+        assert!(bucket_us > 0, "bucket width must be positive");
+        let buckets = horizon.div_ceil(bucket_us) as usize;
+        let mut counts = vec![0u64; buckets];
+        for o in &self.entries {
+            if o.node != node || o.time >= horizon {
+                continue;
+            }
+            if let ObsKind::Committed { txs, .. } = o.kind {
+                counts[(o.time / bucket_us) as usize] += txs as u64;
+            }
+        }
+        let scale = MICROS_PER_SEC as f64 / bucket_us as f64;
+        counts.into_iter().map(|c| c as f64 * scale).collect()
+    }
+
+    /// Mean commit latency (milliseconds) over every `Committed`
+    /// observation on `node` (or all nodes).
+    pub fn mean_commit_latency_ms(&self, node: Option<ReplicaId>) -> Option<f64> {
+        let (mut sum, mut count) = (0u64, 0u64);
+        for o in &self.entries {
+            if node.is_some_and(|n| o.node != n) {
+                continue;
+            }
+            if let ObsKind::Committed { latency_sum_us, latency_count, .. } = o.kind {
+                sum += latency_sum_us;
+                count += latency_count as u64;
+            }
+        }
+        (count > 0).then(|| sum as f64 / count as f64 / 1_000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn committed(node: u32, time: SimTime, txs: u32) -> Observation {
+        Observation {
+            time,
+            node: ReplicaId(node),
+            kind: ObsKind::Committed { txs, latency_sum_us: txs as u64 * 1000, latency_count: txs },
+        }
+    }
+
+    #[test]
+    fn committed_txs_filters_by_node() {
+        let mut log = ObservationLog::new();
+        log.push(committed(0, 10, 100));
+        log.push(committed(1, 20, 50));
+        assert_eq!(log.committed_txs(None), 150);
+        assert_eq!(log.committed_txs(Some(ReplicaId(0))), 100);
+        assert_eq!(log.committed_txs(Some(ReplicaId(2))), 0);
+    }
+
+    #[test]
+    fn throughput_series_buckets_commits() {
+        let mut log = ObservationLog::new();
+        log.push(committed(0, 100_000, 10));
+        log.push(committed(0, 900_000, 20));
+        log.push(committed(0, 1_100_000, 40));
+        let series = log.throughput_series(ReplicaId(0), MICROS_PER_SEC, 2 * MICROS_PER_SEC);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0], 30.0);
+        assert_eq!(series[1], 40.0);
+    }
+
+    #[test]
+    fn view_changes_are_counted() {
+        let mut log = ObservationLog::new();
+        log.push(Observation { time: 5, node: ReplicaId(0), kind: ObsKind::ViewChange { view: 1 } });
+        log.push(Observation { time: 9, node: ReplicaId(1), kind: ObsKind::ViewChange { view: 2 } });
+        assert_eq!(log.view_changes(None), 2);
+        assert_eq!(log.view_changes(Some(ReplicaId(1))), 1);
+    }
+
+    #[test]
+    fn mean_latency_uses_weighted_sum() {
+        let mut log = ObservationLog::new();
+        log.push(committed(0, 10, 4)); // 4 txs at 1 ms each
+        assert_eq!(log.mean_commit_latency_ms(None), Some(1.0));
+        assert_eq!(log.mean_commit_latency_ms(Some(ReplicaId(3))), None);
+    }
+
+    #[test]
+    fn empty_log_reports_empty() {
+        let log = ObservationLog::new();
+        assert!(log.is_empty());
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.mean_commit_latency_ms(None), None);
+    }
+}

@@ -1,0 +1,497 @@
+//! The simulation driver.
+
+use crate::context::{Action, NodeCtx, TimerTag};
+use crate::event::{EventKind, EventQueue};
+use crate::link::{OutboundLink, Priority, QueuedMessage};
+use crate::message::SimMessage;
+use crate::netmodel::NetConfig;
+use crate::observation::{Observation, ObservationLog};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smp_types::{ReplicaId, SimTime};
+use std::collections::{HashMap, HashSet};
+
+/// A protocol participant driven by the simulation.
+pub trait Node {
+    /// Message type exchanged between nodes.
+    type Msg: SimMessage;
+
+    /// Called once before any other handler, at simulated time 0.
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>);
+
+    /// Called when a message from another replica is delivered.
+    fn on_message(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>, from: ReplicaId, msg: Self::Msg);
+
+    /// Called when external (client) input is delivered.  The default
+    /// treats it as a message from the node itself.
+    fn on_client_input(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>, msg: Self::Msg) {
+        let id = ctx.id();
+        self.on_message(ctx, id, msg);
+    }
+
+    /// Called when a timer set through the context fires.
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>, tag: TimerTag);
+}
+
+/// Per-(node, message-kind) byte and message counters.
+#[derive(Clone, Debug, Default)]
+pub struct TrafficStats {
+    bytes: HashMap<(u32, &'static str), u64>,
+    messages: HashMap<(u32, &'static str), u64>,
+}
+
+impl TrafficStats {
+    fn record(&mut self, node: ReplicaId, kind: &'static str, bytes: usize) {
+        *self.bytes.entry((node.0, kind)).or_default() += bytes as u64;
+        *self.messages.entry((node.0, kind)).or_default() += 1;
+    }
+
+    /// Outbound bytes sent by `node`, grouped by message kind.
+    pub fn bytes_by_kind(&self, node: ReplicaId) -> HashMap<&'static str, u64> {
+        self.bytes
+            .iter()
+            .filter(|((n, _), _)| *n == node.0)
+            .map(|((_, k), v)| (*k, *v))
+            .collect()
+    }
+
+    /// Total outbound bytes sent by `node`.
+    pub fn total_bytes(&self, node: ReplicaId) -> u64 {
+        self.bytes.iter().filter(|((n, _), _)| *n == node.0).map(|(_, v)| *v).sum()
+    }
+
+    /// Total outbound bytes across all nodes, grouped by kind.
+    pub fn total_by_kind(&self) -> HashMap<&'static str, u64> {
+        let mut out: HashMap<&'static str, u64> = HashMap::new();
+        for ((_, k), v) in &self.bytes {
+            *out.entry(*k).or_default() += *v;
+        }
+        out
+    }
+
+    /// Number of messages sent by `node` of the given kind.
+    pub fn message_count(&self, node: ReplicaId, kind: &'static str) -> u64 {
+        self.messages.get(&(node.0, kind)).copied().unwrap_or(0)
+    }
+
+    /// Total messages of `kind` sent by all nodes.
+    pub fn total_messages_of_kind(&self, kind: &'static str) -> u64 {
+        self.messages.iter().filter(|((_, k), _)| *k == kind).map(|(_, v)| *v).sum()
+    }
+}
+
+/// The discrete-event simulation of a replica network.
+pub struct Simulation<N: Node> {
+    nodes: Vec<N>,
+    rngs: Vec<SmallRng>,
+    links: Vec<OutboundLink<N::Msg>>,
+    cpu_free: Vec<SimTime>,
+    queue: EventQueue<N::Msg>,
+    cancelled_timers: HashSet<u64>,
+    net: NetConfig,
+    now: SimTime,
+    next_timer_id: u64,
+    started: bool,
+    observations: ObservationLog,
+    traffic: TrafficStats,
+    events_processed: u64,
+    action_buf: Vec<Action<N::Msg>>,
+}
+
+impl<N: Node> Simulation<N> {
+    /// Creates a simulation over `nodes` with the given network environment
+    /// and RNG seed.
+    pub fn new(nodes: Vec<N>, net: NetConfig, seed: u64) -> Self {
+        let n = nodes.len();
+        let rngs = (0..n)
+            .map(|i| SmallRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9).wrapping_add(i as u64)))
+            .collect();
+        Simulation {
+            nodes,
+            rngs,
+            links: (0..n).map(|_| OutboundLink::new()).collect(),
+            cpu_free: vec![0; n],
+            queue: EventQueue::new(),
+            cancelled_timers: HashSet::new(),
+            net,
+            now: 0,
+            next_timer_id: 0,
+            started: false,
+            observations: ObservationLog::new(),
+            traffic: TrafficStats::default(),
+            events_processed: 0,
+            action_buf: Vec::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Immutable access to node `i`.
+    pub fn node(&self, i: usize) -> &N {
+        &self.nodes[i]
+    }
+
+    /// Mutable access to node `i` (useful for post-run metric extraction).
+    pub fn node_mut(&mut self, i: usize) -> &mut N {
+        &mut self.nodes[i]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// The observation log accumulated so far.
+    pub fn observations(&self) -> &ObservationLog {
+        &self.observations
+    }
+
+    /// Outbound traffic statistics accumulated so far.
+    pub fn traffic(&self) -> &TrafficStats {
+        &self.traffic
+    }
+
+    /// Total number of events processed (diagnostics).
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
+    /// The network configuration.
+    pub fn net(&self) -> &NetConfig {
+        &self.net
+    }
+
+    /// Schedules external (client) input to arrive at `to` at time `at`.
+    pub fn schedule_client_input(&mut self, at: SimTime, to: ReplicaId, msg: N::Msg) {
+        self.queue.push(at, EventKind::Deliver { to, from: None, msg });
+    }
+
+    /// Runs the simulation until simulated time `until` (inclusive of
+    /// events scheduled exactly at `until`).
+    pub fn run_until(&mut self, until: SimTime) {
+        if !self.started {
+            self.started = true;
+            for i in 0..self.nodes.len() {
+                self.invoke(i, Invocation::Start);
+            }
+        }
+        while let Some(t) = self.queue.peek_time() {
+            if t > until {
+                break;
+            }
+            let event = self.queue.pop().expect("peeked event must exist");
+            self.now = event.time;
+            self.events_processed += 1;
+            match event.kind {
+                EventKind::Deliver { to, from, msg } => self.handle_delivery(to, from, msg),
+                EventKind::Timer { node, timer_id, tag } => {
+                    if self.cancelled_timers.remove(&timer_id) {
+                        continue;
+                    }
+                    self.invoke(node.index(), Invocation::Timer(tag));
+                }
+                EventKind::LinkFree { node } => {
+                    self.links[node.index()].finish_current();
+                    self.pump_link(node);
+                }
+            }
+        }
+        self.now = until;
+    }
+
+    /// Runs the simulation for `duration` more simulated time.
+    pub fn run_for(&mut self, duration: SimTime) {
+        let until = self.now.saturating_add(duration);
+        self.run_until(until);
+    }
+
+    fn handle_delivery(&mut self, to: ReplicaId, from: Option<ReplicaId>, msg: N::Msg) {
+        let idx = to.index();
+        // CPU model: if the receiver is still busy processing earlier
+        // messages, defer this delivery until its CPU frees up.
+        let cpu_free = self.cpu_free[idx];
+        if cpu_free > self.now {
+            self.queue.push(cpu_free, EventKind::Deliver { to, from, msg });
+            return;
+        }
+        let cost = (msg.cpu_cost_us() / self.net.cpu_speed.max(1e-9)).ceil() as SimTime;
+        self.cpu_free[idx] = self.now + cost;
+        match from {
+            Some(f) => self.invoke(idx, Invocation::Message(f, msg)),
+            None => self.invoke(idx, Invocation::Client(msg)),
+        }
+    }
+
+    fn invoke(&mut self, idx: usize, invocation: Invocation<N::Msg>) {
+        debug_assert!(self.action_buf.is_empty());
+        let mut actions = std::mem::take(&mut self.action_buf);
+        {
+            let mut ctx = NodeCtx {
+                id: ReplicaId(idx as u32),
+                n: self.nodes.len(),
+                now: self.now,
+                rng: &mut self.rngs[idx],
+                actions: &mut actions,
+                next_timer_id: &mut self.next_timer_id,
+            };
+            let node = &mut self.nodes[idx];
+            match invocation {
+                Invocation::Start => node.on_start(&mut ctx),
+                Invocation::Message(from, msg) => node.on_message(&mut ctx, from, msg),
+                Invocation::Client(msg) => node.on_client_input(&mut ctx, msg),
+                Invocation::Timer(tag) => node.on_timer(&mut ctx, tag),
+            }
+        }
+        let sender = ReplicaId(idx as u32);
+        for action in actions.drain(..) {
+            self.apply(sender, action);
+        }
+        self.action_buf = actions;
+    }
+
+    fn apply(&mut self, sender: ReplicaId, action: Action<N::Msg>) {
+        match action {
+            Action::Send { to, msg } => self.send_message(sender, to, msg),
+            Action::SetTimer { at, timer_id, tag } => {
+                self.queue.push(at, EventKind::Timer { node: sender, timer_id, tag });
+            }
+            Action::CancelTimer { timer_id } => {
+                self.cancelled_timers.insert(timer_id);
+            }
+            Action::Observe(obs) => self.push_observation(obs),
+        }
+    }
+
+    fn push_observation(&mut self, obs: Observation) {
+        self.observations.push(obs);
+    }
+
+    fn send_message(&mut self, from: ReplicaId, to: ReplicaId, msg: N::Msg) {
+        let bytes = msg.wire_size();
+        self.traffic.record(from, msg.kind(), bytes);
+        if from == to {
+            // Loopback: no NIC serialization, negligible delay.
+            self.queue.push(self.now + 1, EventKind::Deliver { to, from: Some(from), msg });
+            return;
+        }
+        let priority = if msg.high_priority() { Priority::High } else { Priority::Normal };
+        let link = &mut self.links[from.index()];
+        link.enqueue(QueuedMessage { to, msg, bytes, enqueued_at: self.now }, priority);
+        if !link.is_busy() {
+            self.pump_link(from);
+        }
+    }
+
+    /// Starts transmitting the next queued message on `node`'s link, if any.
+    fn pump_link(&mut self, node: ReplicaId) {
+        let idx = node.index();
+        let Some(item) = self.links[idx].start_next() else {
+            return;
+        };
+        let ser = self.net.serialization_us(node, item.bytes);
+        let done = self.now + ser;
+        self.queue.push(done, EventKind::LinkFree { node });
+        let prop = self.net.propagation_us(node, item.to, self.now, &mut self.rngs[idx]);
+        self.queue.push(
+            done + prop,
+            EventKind::Deliver { to: item.to, from: Some(node), msg: item.msg },
+        );
+    }
+}
+
+enum Invocation<M> {
+    Start,
+    Message(ReplicaId, M),
+    Client(M),
+    Timer(TimerTag),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::ObsKind;
+    use smp_types::MICROS_PER_MS;
+
+    #[derive(Clone, Debug)]
+    enum TestMsg {
+        Small(u64),
+        Big,
+    }
+
+    impl SimMessage for TestMsg {
+        fn wire_size(&self) -> usize {
+            match self {
+                TestMsg::Small(_) => 100,
+                TestMsg::Big => 1_250_000, // 10 Mb => 100 ms at 100 Mb/s
+            }
+        }
+        fn kind(&self) -> &'static str {
+            match self {
+                TestMsg::Small(_) => "small",
+                TestMsg::Big => "big",
+            }
+        }
+        fn high_priority(&self) -> bool {
+            matches!(self, TestMsg::Small(_))
+        }
+        fn cpu_cost_us(&self) -> f64 {
+            1.0
+        }
+    }
+
+    /// Records every message it receives along with the arrival time.
+    struct Recorder {
+        received: Vec<(SimTime, ReplicaId, &'static str)>,
+        echo: bool,
+        timer_fired: Vec<TimerTag>,
+    }
+
+    impl Recorder {
+        fn new(echo: bool) -> Self {
+            Recorder { received: Vec::new(), echo, timer_fired: Vec::new() }
+        }
+    }
+
+    impl Node for Recorder {
+        type Msg = TestMsg;
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_, TestMsg>) {
+            if ctx.id() == ReplicaId(0) && self.echo {
+                ctx.send(ReplicaId(1), TestMsg::Small(1));
+            }
+        }
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_, TestMsg>, from: ReplicaId, msg: TestMsg) {
+            self.received.push((ctx.now(), from, msg.kind()));
+            ctx.observe(ObsKind::Custom { label: "recv", value: 1.0 });
+        }
+        fn on_timer(&mut self, _ctx: &mut NodeCtx<'_, TestMsg>, tag: TimerTag) {
+            self.timer_fired.push(tag);
+        }
+    }
+
+    fn two_nodes(echo: bool) -> Simulation<Recorder> {
+        Simulation::new(vec![Recorder::new(echo), Recorder::new(false)], NetConfig::wan(), 7)
+    }
+
+    #[test]
+    fn message_arrives_after_serialization_and_propagation() {
+        let mut sim = two_nodes(true);
+        sim.run_until(MICROS_PER_MS * 200);
+        let rec = &sim.node(1).received;
+        assert_eq!(rec.len(), 1);
+        let (t, from, kind) = rec[0];
+        assert_eq!(from, ReplicaId(0));
+        assert_eq!(kind, "small");
+        // 100 B at 100 Mb/s is 8 us; one-way delay is 50 ms (+ up to 2 ms jitter).
+        assert!(t >= 50_000 && t <= 53_000, "arrival at {t}");
+    }
+
+    #[test]
+    fn client_input_is_delivered() {
+        let mut sim = two_nodes(false);
+        sim.schedule_client_input(10_000, ReplicaId(1), TestMsg::Small(9));
+        sim.run_until(20_000);
+        assert_eq!(sim.node(1).received.len(), 1);
+    }
+
+    #[test]
+    fn big_messages_delay_subsequent_sends_on_same_link() {
+        // Node 0 sends Big then Small to node 1; the Big is already
+        // serializing when the Small is queued, so the Small arrives
+        // ~100 ms later than it would on an idle link.
+        struct Mixed {
+            sender: bool,
+            received: Vec<(SimTime, &'static str)>,
+        }
+        impl Node for Mixed {
+            type Msg = TestMsg;
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_, TestMsg>) {
+                if self.sender {
+                    ctx.send(ReplicaId(1), TestMsg::Big);
+                    ctx.send(ReplicaId(1), TestMsg::Small(1));
+                }
+            }
+            fn on_message(&mut self, ctx: &mut NodeCtx<'_, TestMsg>, _: ReplicaId, msg: TestMsg) {
+                self.received.push((ctx.now(), msg.kind()));
+            }
+            fn on_timer(&mut self, _: &mut NodeCtx<'_, TestMsg>, _: TimerTag) {}
+        }
+        let nodes = vec![
+            Mixed { sender: true, received: Vec::new() },
+            Mixed { sender: false, received: Vec::new() },
+        ];
+        let mut sim = Simulation::new(nodes, NetConfig::wan(), 7);
+        sim.run_until(MICROS_PER_MS * 400);
+        let rec = &sim.node(1).received;
+        assert_eq!(rec.len(), 2);
+        // The big message serializes for 100 ms; the small one starts after.
+        let small_arrival = rec.iter().find(|(_, k)| *k == "small").unwrap().0;
+        assert!(small_arrival >= 100_000 + 50_000, "small arrived at {small_arrival}");
+    }
+
+    #[test]
+    fn traffic_stats_account_outbound_bytes_by_kind() {
+        let mut sim = two_nodes(true);
+        sim.run_until(MICROS_PER_MS * 200);
+        let by_kind = sim.traffic().bytes_by_kind(ReplicaId(0));
+        assert_eq!(by_kind.get("small"), Some(&100));
+        assert_eq!(sim.traffic().total_bytes(ReplicaId(1)), 0);
+        assert_eq!(sim.traffic().message_count(ReplicaId(0), "small"), 1);
+    }
+
+    #[test]
+    fn observations_are_collected() {
+        let mut sim = two_nodes(true);
+        sim.run_until(MICROS_PER_MS * 200);
+        assert_eq!(sim.observations().len(), 1);
+    }
+
+    #[test]
+    fn timers_fire_and_cancel() {
+        struct TimerNode {
+            fired: Vec<TimerTag>,
+        }
+        impl Node for TimerNode {
+            type Msg = TestMsg;
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_, TestMsg>) {
+                let keep = ctx.set_timer(1_000, 1);
+                let cancel = ctx.set_timer(2_000, 2);
+                let _ = keep;
+                ctx.cancel_timer(cancel);
+                ctx.set_timer(3_000, 3);
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_, TestMsg>, _: ReplicaId, _: TestMsg) {}
+            fn on_timer(&mut self, _: &mut NodeCtx<'_, TestMsg>, tag: TimerTag) {
+                self.fired.push(tag);
+            }
+        }
+        let mut sim = Simulation::new(vec![TimerNode { fired: Vec::new() }], NetConfig::lan(), 1);
+        sim.run_until(10_000);
+        assert_eq!(sim.node(0).fired, vec![1, 3]);
+    }
+
+    #[test]
+    fn determinism_same_seed_same_outcome() {
+        let run = |seed: u64| {
+            let mut sim = two_nodes(true);
+            let _ = seed;
+            sim.run_until(MICROS_PER_MS * 200);
+            sim.node(1).received.clone()
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn run_until_advances_clock_even_without_events() {
+        let mut sim = two_nodes(false);
+        sim.run_until(123_456);
+        assert_eq!(sim.now(), 123_456);
+    }
+}

@@ -1,0 +1,110 @@
+//! Committed blocks.
+//!
+//! A block is the result of `FillProposal(p)`: the proposal plus the full
+//! content of every microblock it references (Section III-D).  Blocks are
+//! what the executor consumes after commit.
+
+use crate::ids::BlockId;
+use crate::microblock::Microblock;
+use crate::proposal::{Payload, Proposal};
+use crate::time::SimTime;
+use crate::transaction::Transaction;
+use serde::{Deserialize, Serialize};
+
+/// A full block: an ordered proposal together with the transaction data it
+/// references.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Block {
+    /// The proposal that was ordered.
+    pub proposal: Proposal,
+    /// Microblocks referenced by the proposal, in payload order (empty for
+    /// native proposals, whose transactions are inline).
+    pub microblocks: Vec<Microblock>,
+    /// Simulated time at which the block became full on this replica.
+    pub filled_at: SimTime,
+}
+
+impl Block {
+    /// Assembles a block from a proposal and the resolved microblocks.
+    pub fn assemble(proposal: Proposal, microblocks: Vec<Microblock>, filled_at: SimTime) -> Self {
+        Block { proposal, microblocks, filled_at }
+    }
+
+    /// The block id (same as the proposal id).
+    pub fn id(&self) -> BlockId {
+        self.proposal.id
+    }
+
+    /// Iterates over every transaction ordered by this block, whether it
+    /// was inline or referenced through microblocks.
+    pub fn transactions(&self) -> impl Iterator<Item = &Transaction> {
+        let inline = match &self.proposal.payload {
+            Payload::Inline(txs) => txs.as_slice(),
+            _ => &[],
+        };
+        inline.iter().chain(self.microblocks.iter().flat_map(|mb| mb.txs.iter()))
+    }
+
+    /// Number of transactions ordered by this block.
+    pub fn tx_count(&self) -> usize {
+        self.transactions().count()
+    }
+
+    /// Whether the block orders no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.tx_count() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{ClientId, ReplicaId, View};
+    use crate::proposal::MicroblockRef;
+
+    fn txs(base: u64, n: usize) -> Vec<Transaction> {
+        (0..n)
+            .map(|i| Transaction::synthetic(ClientId(0), base + i as u64, 128, 0))
+            .collect()
+    }
+
+    #[test]
+    fn inline_block_counts_inline_txs() {
+        let p = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::inline(txs(0, 4)),
+            true,
+        );
+        let b = Block::assemble(p, vec![], 10);
+        assert_eq!(b.tx_count(), 4);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn ref_block_counts_microblock_txs() {
+        let mb1 = Microblock::seal(ReplicaId(1), txs(0, 3), 0);
+        let mb2 = Microblock::seal(ReplicaId(2), txs(100, 2), 0);
+        let p = Proposal::new(
+            View(2),
+            2,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Refs(vec![MicroblockRef::unproven(mb1.id, mb1.creator, mb1.len() as u32),
+                MicroblockRef::unproven(mb2.id, mb2.creator, mb2.len() as u32),]),
+            true,
+        );
+        let b = Block::assemble(p, vec![mb1, mb2], 20);
+        assert_eq!(b.tx_count(), 5);
+        assert_eq!(b.id(), b.proposal.id);
+    }
+
+    #[test]
+    fn empty_block_is_empty() {
+        let p = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, false);
+        let b = Block::assemble(p, vec![], 0);
+        assert!(b.is_empty());
+    }
+}

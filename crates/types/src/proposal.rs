@@ -1,0 +1,236 @@
+//! Proposals and their payloads.
+//!
+//! The key distinction in the paper is between *native* proposals (which
+//! carry full transaction data and make the leader the dissemination
+//! bottleneck) and *shared-mempool* proposals (which carry only microblock
+//! ids — plus, for Stratus, the availability proof for each id).
+
+use crate::ids::{BlockId, MicroblockId, ReplicaId, View};
+use crate::transaction::Transaction;
+use crate::wire::{WireSize, PROPOSAL_HEADER_BYTES, QC_BYTES};
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+use smp_crypto::{Digest, Hasher, QuorumProof};
+
+/// Reference to a microblock inside a shared-mempool proposal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct MicroblockRef {
+    /// Identifier of the referenced microblock.
+    pub id: MicroblockId,
+    /// Replica that created (batched) the microblock; used as a fetch
+    /// target for mempools without availability proofs.
+    pub creator: ReplicaId,
+    /// Number of transactions the microblock contains (metadata carried in
+    /// the proposal so replicas can account for ordered transactions even
+    /// before the data arrives).
+    pub tx_count: u32,
+    /// Availability proof for the microblock (present for Stratus; absent
+    /// for the simple shared mempool).
+    pub proof: Option<QuorumProof>,
+}
+
+impl MicroblockRef {
+    /// A reference without an availability proof.
+    pub fn unproven(id: MicroblockId, creator: ReplicaId, tx_count: u32) -> Self {
+        MicroblockRef { id, creator, tx_count, proof: None }
+    }
+
+    /// A reference with its availability proof.
+    pub fn proven(id: MicroblockId, creator: ReplicaId, tx_count: u32, proof: QuorumProof) -> Self {
+        MicroblockRef { id, creator, tx_count, proof: Some(proof) }
+    }
+}
+
+impl WireSize for MicroblockRef {
+    fn wire_size(&self) -> usize {
+        // id + creator (4 B) + tx count (4 B) + optional proof.
+        self.id.0.wire_size() + 8 + self.proof.as_ref().map_or(0, QuorumProof::wire_size)
+    }
+}
+
+/// The payload carried by a proposal.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Payload {
+    /// Full transaction data (native mempool; the leader disseminates it).
+    /// Shared so that broadcasting the proposal does not copy the data.
+    Inline(Arc<Vec<Transaction>>),
+    /// Microblock references (shared mempool; data already disseminated).
+    Refs(Vec<MicroblockRef>),
+    /// An empty proposal (used to keep chained protocols advancing when no
+    /// transactions are pending).
+    Empty,
+}
+
+impl Payload {
+    /// Builds an inline payload from owned transactions.
+    pub fn inline(txs: Vec<Transaction>) -> Self {
+        Payload::Inline(Arc::new(txs))
+    }
+
+    /// Number of transactions directly countable from the payload.  For
+    /// `Refs` payloads the count is unknown at this layer and reported as
+    /// zero; the mempool resolves it when filling the proposal.
+    pub fn inline_tx_count(&self) -> usize {
+        match self {
+            Payload::Inline(txs) => txs.len(),
+            _ => 0,
+        }
+    }
+
+    /// Number of microblock references in the payload.
+    pub fn ref_count(&self) -> usize {
+        match self {
+            Payload::Refs(refs) => refs.len(),
+            _ => 0,
+        }
+    }
+
+    /// Whether the payload carries nothing at all.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            Payload::Inline(txs) => txs.is_empty(),
+            Payload::Refs(refs) => refs.is_empty(),
+            Payload::Empty => true,
+        }
+    }
+
+    /// A digest committing to the payload (used in the block id).
+    pub fn root(&self) -> Digest {
+        let mut h = Hasher::with_domain(0x5041_594c); // "PAYL"
+        match self {
+            Payload::Inline(txs) => {
+                h.update_u64(0);
+                for tx in txs.iter() {
+                    h.update_digest(&tx.id.0);
+                }
+            }
+            Payload::Refs(refs) => {
+                h.update_u64(1);
+                for r in refs {
+                    h.update_digest(&r.id.0);
+                }
+            }
+            Payload::Empty => h.update_u64(2),
+        }
+        h.finalize()
+    }
+}
+
+impl WireSize for Payload {
+    fn wire_size(&self) -> usize {
+        match self {
+            Payload::Inline(txs) => txs.iter().map(WireSize::wire_size).sum(),
+            Payload::Refs(refs) => refs.iter().map(WireSize::wire_size).sum(),
+            Payload::Empty => 0,
+        }
+    }
+}
+
+/// A proposal produced by the leader via `MakeProposal()`.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Proposal {
+    /// View in which the proposal was made.
+    pub view: View,
+    /// Height in the chain (genesis = 0).
+    pub height: u64,
+    /// Identifier of this proposal (hash of header + payload root).
+    pub id: BlockId,
+    /// Parent block id.
+    pub parent: BlockId,
+    /// Proposing replica (the leader of `view`).
+    pub proposer: ReplicaId,
+    /// Payload: inline transactions or microblock references.
+    pub payload: Payload,
+    /// Whether the header embeds a quorum certificate for the parent
+    /// (chained HotStuff does; it contributes [`QC_BYTES`] to the size).
+    pub carries_qc: bool,
+}
+
+impl Proposal {
+    /// Builds a proposal and derives its id.
+    pub fn new(
+        view: View,
+        height: u64,
+        parent: BlockId,
+        proposer: ReplicaId,
+        payload: Payload,
+        carries_qc: bool,
+    ) -> Self {
+        let mut h = Hasher::with_domain(0x5052_4f50); // "PROP"
+        h.update_u64(view.0);
+        h.update_u64(height);
+        h.update_digest(&parent.0);
+        h.update_u64(proposer.0 as u64);
+        h.update_digest(&payload.root());
+        let id = BlockId(h.finalize());
+        Proposal { view, height, id, parent, proposer, payload, carries_qc }
+    }
+}
+
+impl WireSize for Proposal {
+    fn wire_size(&self) -> usize {
+        PROPOSAL_HEADER_BYTES
+            + if self.carries_qc { QC_BYTES } else { 0 }
+            + self.payload.wire_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::ClientId;
+
+    fn txs(n: usize) -> Vec<Transaction> {
+        (0..n).map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0)).collect()
+    }
+
+    #[test]
+    fn inline_payload_is_much_larger_than_refs() {
+        let inline = Payload::inline(txs(1000));
+        let refs = Payload::Refs(
+            (0..10)
+                .map(|i| MicroblockRef::unproven(MicroblockId(Digest::of_u64(i)), ReplicaId(0), 100))
+                .collect(),
+        );
+        assert!(inline.wire_size() > 50 * refs.wire_size());
+    }
+
+    #[test]
+    fn payload_roots_distinguish_variants_and_contents() {
+        let a = Payload::inline(txs(3));
+        let b = Payload::inline(txs(4));
+        let c = Payload::Empty;
+        assert_ne!(a.root(), b.root());
+        assert_ne!(a.root(), c.root());
+    }
+
+    #[test]
+    fn proposal_id_changes_with_view_and_payload() {
+        let p1 = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, true);
+        let p2 = Proposal::new(View(2), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, true);
+        let p3 =
+            Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::inline(txs(1)), true);
+        assert_ne!(p1.id, p2.id);
+        assert_ne!(p1.id, p3.id);
+    }
+
+    #[test]
+    fn carries_qc_adds_header_bytes() {
+        let with = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, true);
+        let without =
+            Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, false);
+        assert_eq!(with.wire_size(), without.wire_size() + QC_BYTES);
+    }
+
+    #[test]
+    fn counts_reflect_payload_kind() {
+        let inline = Payload::inline(txs(5));
+        assert_eq!(inline.inline_tx_count(), 5);
+        assert_eq!(inline.ref_count(), 0);
+        let refs = Payload::Refs(vec![MicroblockRef::unproven(MicroblockId(Digest::of_u64(1)), ReplicaId(0), 10)]);
+        assert_eq!(refs.inline_tx_count(), 0);
+        assert_eq!(refs.ref_count(), 1);
+        assert!(Payload::Empty.is_empty());
+        assert!(!inline.is_empty());
+    }
+}

@@ -1,0 +1,65 @@
+//! Simulated time.
+//!
+//! The whole reproduction runs on a logical clock measured in integer
+//! microseconds; this module provides the alias and conversion helpers so
+//! all crates agree on the unit.
+
+/// Simulated time or duration, in microseconds.
+pub type SimTime = u64;
+
+/// Microseconds per millisecond.
+pub const MICROS_PER_MS: SimTime = 1_000;
+
+/// Microseconds per second.
+pub const MICROS_PER_SEC: SimTime = 1_000_000;
+
+/// Converts milliseconds to [`SimTime`].
+pub const fn ms(v: u64) -> SimTime {
+    v * MICROS_PER_MS
+}
+
+/// Converts seconds to [`SimTime`].
+pub const fn secs(v: u64) -> SimTime {
+    v * MICROS_PER_SEC
+}
+
+/// Converts a [`SimTime`] to fractional milliseconds.
+pub fn as_ms(t: SimTime) -> f64 {
+    t as f64 / MICROS_PER_MS as f64
+}
+
+/// Converts a [`SimTime`] to fractional seconds.
+pub fn as_secs(t: SimTime) -> f64 {
+    t as f64 / MICROS_PER_SEC as f64
+}
+
+/// Converts fractional microseconds (e.g. from the CPU cost model) to a
+/// [`SimTime`], rounding up so nonzero costs never vanish.
+pub fn from_micros_f64(us: f64) -> SimTime {
+    if us <= 0.0 {
+        0
+    } else {
+        us.ceil() as SimTime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(ms(5), 5_000);
+        assert_eq!(secs(2), 2_000_000);
+        assert!((as_ms(1_500) - 1.5).abs() < 1e-12);
+        assert!((as_secs(2_500_000) - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_micros_rounds_up() {
+        assert_eq!(from_micros_f64(0.0), 0);
+        assert_eq!(from_micros_f64(-3.0), 0);
+        assert_eq!(from_micros_f64(0.2), 1);
+        assert_eq!(from_micros_f64(10.0), 10);
+    }
+}

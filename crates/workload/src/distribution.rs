@@ -1,0 +1,106 @@
+//! How offered load is spread over replicas.
+
+use crate::zipf::ZipfWeights;
+use serde::{Deserialize, Serialize};
+
+/// Assignment of client load to replicas.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LoadDistribution {
+    /// Every replica receives the same share (the default in
+    /// Sections VII-B/C).
+    Even,
+    /// Zipf-skewed shares (Section VII-D); rank 0 is the most loaded
+    /// replica.
+    Zipf {
+        /// Skew exponent (`1.01` in the paper).
+        s: f64,
+        /// Offset (`1` for Zipf1, `10` for Zipf10).
+        v: f64,
+    },
+    /// Explicit per-replica shares (will be normalized).
+    Custom(Vec<f64>),
+    /// All load hits a single replica (worst case / targeted attack).
+    SingleReplica(usize),
+}
+
+impl LoadDistribution {
+    /// The paper's highly skewed workload.
+    pub fn zipf1() -> Self {
+        LoadDistribution::Zipf { s: 1.01, v: 1.0 }
+    }
+
+    /// The paper's lightly skewed workload.
+    pub fn zipf10() -> Self {
+        LoadDistribution::Zipf { s: 1.01, v: 10.0 }
+    }
+
+    /// Normalized per-replica shares for a system of `n` replicas.
+    pub fn shares(&self, n: usize) -> Vec<f64> {
+        assert!(n > 0);
+        match self {
+            LoadDistribution::Even => vec![1.0 / n as f64; n],
+            LoadDistribution::Zipf { s, v } => ZipfWeights::new(n, *s, *v).shares().to_vec(),
+            LoadDistribution::Custom(raw) => {
+                assert_eq!(raw.len(), n, "custom distribution must cover every replica");
+                let sum: f64 = raw.iter().sum();
+                assert!(sum > 0.0, "custom distribution must have positive mass");
+                raw.iter().map(|w| w / sum).collect()
+            }
+            LoadDistribution::SingleReplica(target) => {
+                assert!(*target < n, "target replica out of range");
+                let mut v = vec![0.0; n];
+                v[*target] = 1.0;
+                v
+            }
+        }
+    }
+
+    /// Coefficient of variation of the shares — a scalar skewness measure
+    /// used in tests and reports.
+    pub fn skewness(&self, n: usize) -> f64 {
+        let shares = self.shares(n);
+        let mean = 1.0 / n as f64;
+        let var = shares.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
+        var.sqrt() / mean
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_distribution_is_uniform() {
+        let shares = LoadDistribution::Even.shares(10);
+        assert!(shares.iter().all(|s| (*s - 0.1).abs() < 1e-12));
+        assert!(LoadDistribution::Even.skewness(10) < 1e-9);
+    }
+
+    #[test]
+    fn zipf_is_more_skewed_than_even_and_zipf10() {
+        let z1 = LoadDistribution::zipf1().skewness(100);
+        let z10 = LoadDistribution::zipf10().skewness(100);
+        assert!(z1 > z10);
+        assert!(z10 > LoadDistribution::Even.skewness(100));
+    }
+
+    #[test]
+    fn custom_shares_are_normalized() {
+        let d = LoadDistribution::Custom(vec![2.0, 1.0, 1.0, 0.0]);
+        let shares = d.shares(4);
+        assert!((shares[0] - 0.5).abs() < 1e-12);
+        assert!((shares.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_replica_concentrates_everything() {
+        let shares = LoadDistribution::SingleReplica(2).shares(4);
+        assert_eq!(shares, vec![0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every replica")]
+    fn custom_with_wrong_len_panics() {
+        let _ = LoadDistribution::Custom(vec![1.0, 2.0]).shares(3);
+    }
+}

@@ -1,0 +1,26 @@
+//! Client workload generation for the Stratus reproduction.
+//!
+//! The paper's clients are open-loop load generators issuing fixed-size
+//! key-value transactions to replicas.  Two aspects matter to the
+//! evaluation:
+//!
+//! * the **aggregate arrival rate** offered to the system (swept until
+//!   saturation in Figures 6 and 7), and
+//! * **how that load is spread over replicas** — evenly in most
+//!   experiments, or Zipf-skewed (Figure 10) to stress the distributed
+//!   load balancer (Figure 11).
+//!
+//! This crate provides the per-replica rate model ([`WorkloadSpec`] /
+//! [`LoadDistribution`]), the Zipfian share computation, a deterministic
+//! transaction factory, and the synthetic WAN delay-trace generator used
+//! to reproduce Figure 5.
+
+pub mod distribution;
+pub mod generator;
+pub mod trace;
+pub mod zipf;
+
+pub use distribution::LoadDistribution;
+pub use generator::{TxFactory, WorkloadSpec};
+pub use trace::{DelayTrace, TraceConfig};
+pub use zipf::ZipfWeights;

@@ -1,0 +1,119 @@
+//! Zipfian load shares.
+//!
+//! The paper simulates skewed client placement with the Zipf parameters
+//! `Zipf1 (s = 1.01, v = 1)` — highly skewed — and
+//! `Zipf10 (s = 1.01, v = 10)` — lightly skewed — following the generator
+//! from Go's `math/rand` package, where the probability of rank `k`
+//! (0-based) is proportional to `1 / (v + k)^s`.
+
+use serde::{Deserialize, Serialize};
+
+/// Normalized Zipfian weights over `n` ranks.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ZipfWeights {
+    /// Skew exponent `s > 1`.
+    pub s: f64,
+    /// Offset `v >= 1`.
+    pub v: f64,
+    shares: Vec<f64>,
+}
+
+impl ZipfWeights {
+    /// Computes normalized shares for `n` ranks with parameters `s`, `v`.
+    pub fn new(n: usize, s: f64, v: f64) -> Self {
+        assert!(n > 0, "need at least one rank");
+        assert!(s > 1.0, "Zipf exponent must exceed 1");
+        assert!(v >= 1.0, "Zipf offset must be at least 1");
+        let raw: Vec<f64> = (0..n).map(|k| 1.0 / (v + k as f64).powf(s)).collect();
+        let sum: f64 = raw.iter().sum();
+        ZipfWeights { s, v, shares: raw.into_iter().map(|w| w / sum).collect() }
+    }
+
+    /// The paper's highly skewed distribution, `Zipf1`.
+    pub fn zipf1(n: usize) -> Self {
+        ZipfWeights::new(n, 1.01, 1.0)
+    }
+
+    /// The paper's lightly skewed distribution, `Zipf10`.
+    pub fn zipf10(n: usize) -> Self {
+        ZipfWeights::new(n, 1.01, 10.0)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.shares.len()
+    }
+
+    /// Whether there are no ranks (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.shares.is_empty()
+    }
+
+    /// The normalized share of rank `k`.
+    pub fn share(&self, k: usize) -> f64 {
+        self.shares[k]
+    }
+
+    /// All shares, ordered by rank (descending share).
+    pub fn shares(&self) -> &[f64] {
+        &self.shares
+    }
+
+    /// Fraction of total load received by the top `top` ranks.
+    pub fn top_share(&self, top: usize) -> f64 {
+        self.shares.iter().take(top).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_are_normalized_and_decreasing() {
+        let z = ZipfWeights::zipf1(100);
+        let sum: f64 = z.shares().iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        for w in z.shares().windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn zipf1_matches_figure_10_extremes() {
+        // Figure 10a: with 100 replicas the most loaded replica receives
+        // ~19.6% of the load under Zipf1 and ~4.1% under Zipf10.
+        let z1 = ZipfWeights::zipf1(100);
+        let z10 = ZipfWeights::zipf10(100);
+        assert!((z1.share(0) - 0.196).abs() < 0.01, "zipf1 head share {}", z1.share(0));
+        assert!((z10.share(0) - 0.041).abs() < 0.01, "zipf10 head share {}", z10.share(0));
+    }
+
+    #[test]
+    fn zipf1_top_10_percent_carry_most_load() {
+        // Section VII-D: with s = 1.01 and 100 replicas, 10% of the
+        // replicas receive the (large) majority of the load.
+        let z1 = ZipfWeights::zipf1(100);
+        assert!(z1.top_share(10) > 0.55, "top-10 share {}", z1.top_share(10));
+        let z10 = ZipfWeights::zipf10(100);
+        assert!(z10.top_share(10) < z1.top_share(10));
+    }
+
+    #[test]
+    fn larger_networks_match_figure_10_heads() {
+        for (n, expected_z1, expected_z10) in
+            [(200, 0.173, 0.033), (300, 0.162, 0.029), (400, 0.156, 0.027)]
+        {
+            let z1 = ZipfWeights::zipf1(n);
+            let z10 = ZipfWeights::zipf10(n);
+            assert!((z1.share(0) - expected_z1).abs() < 0.01, "n={n} z1 {}", z1.share(0));
+            assert!((z10.share(0) - expected_z10).abs() < 0.01, "n={n} z10 {}", z10.share(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn invalid_exponent_panics() {
+        let _ = ZipfWeights::new(10, 0.5, 1.0);
+    }
+}

@@ -1,0 +1,48 @@
+//! Byzantine resilience: reproduce (at small scale) the Section VII-C
+//! comparison between the best-effort shared mempool and Stratus when some
+//! replicas disseminate their microblocks only to the leader.
+//!
+//! ```text
+//! cargo run --release --example byzantine_resilience
+//! ```
+
+use stratus_repro::prelude::*;
+
+fn main() {
+    let n = 16;
+    let rate = 30_000.0;
+    println!("n = {n}, offered load = {rate} tx/s, LAN, Byzantine senders vary\n");
+    println!(
+        "{:<10} {:>6} {:>14} {:>14} {:>8}",
+        "protocol", "byz", "KTx/s", "latency ms", "fetches"
+    );
+
+    for byz in [0usize, 2, 5] {
+        // SMP-HS: Byzantine senders serve only the leader.
+        let smp = run_experiment(
+            &ExperimentConfig::new(Protocol::SmpHotStuff, n, rate)
+                .with_duration(1_000_000, 4_000_000)
+                .with_byzantine(byz, 0),
+        );
+        // S-HS: attackers must still reach f+1 replicas to obtain proofs.
+        let q = (n - 1) / 3 + 1;
+        let stratus = run_experiment(
+            &ExperimentConfig::new(Protocol::StratusHotStuff, n, rate)
+                .with_duration(1_000_000, 4_000_000)
+                .with_byzantine(byz, q),
+        );
+        for r in [&smp, &stratus] {
+            println!(
+                "{:<10} {:>6} {:>14.2} {:>14.1} {:>8}",
+                r.summary.label, byz, r.summary.throughput_ktps, r.summary.mean_latency_ms,
+                r.view_changes
+            );
+        }
+    }
+
+    println!(
+        "\nExpected shape (paper Figure 9): SMP-HS throughput collapses and its latency\n\
+         surges as Byzantine senders increase, while S-HS degrades only slightly because\n\
+         proposals carry availability proofs and consensus never blocks on missing data."
+    );
+}

@@ -1,0 +1,36 @@
+//! Quickstart: run Stratus-HotStuff on a small simulated LAN and print the
+//! headline numbers.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use stratus_repro::prelude::*;
+
+fn main() {
+    // Four replicas in the paper's LAN environment, offered 20 KTx/s of
+    // 128-byte transactions spread evenly over the replicas.
+    let config = ExperimentConfig::new(Protocol::StratusHotStuff, 4, 20_000.0)
+        .with_duration(1_000_000, 5_000_000); // 1 s warm-up + 5 s measurement
+
+    println!("running {} with n = {} ...", config.protocol.label(), config.n);
+    let result = run_experiment(&config);
+
+    println!("\n== {} ==", config.protocol.description());
+    println!("{}", result.row());
+    println!(
+        "committed {} transactions ({} view changes)",
+        result.committed_txs, result.view_changes
+    );
+    println!("\nper-second committed throughput (tx/s):");
+    for (sec, tps) in result.throughput_series.iter().enumerate() {
+        println!("  t={sec:>2}s  {tps:>10.0}");
+    }
+
+    // Compare against native HotStuff under the identical setup.
+    let native = run_experiment(
+        &ExperimentConfig::new(Protocol::NativeHotStuff, 4, 20_000.0)
+            .with_duration(1_000_000, 5_000_000),
+    );
+    println!("\nfor comparison:\n{}", native.row());
+}
