@@ -15,7 +15,10 @@ pub struct SmpModel {
 impl SmpModel {
     /// Creates the model with 32-byte identifiers.
     pub fn new(params: ModelParams) -> Self {
-        SmpModel { params, id_bits: 32.0 * 8.0 }
+        SmpModel {
+            params,
+            id_bits: 32.0 * 8.0,
+        }
     }
 
     /// Leader workload for a `proposal_bits`-sized proposal whose ids

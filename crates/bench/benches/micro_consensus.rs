@@ -12,8 +12,9 @@ fn bench_hotstuff_rounds(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
             b.iter(|| {
                 let config = SystemConfig::new(n);
-                let engines =
-                    (0..n as u32).map(|i| HotStuffEngine::new(&config, ReplicaId(i))).collect();
+                let engines = (0..n as u32)
+                    .map(|i| HotStuffEngine::new(&config, ReplicaId(i)))
+                    .collect();
                 let mut net: EngineNet<HotStuffEngine> = EngineNet::new(engines);
                 net.start();
                 drive_until_quiet(&mut net, 10);
@@ -30,8 +31,9 @@ fn bench_pbft_rounds(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("n", n), &n, |b, &n| {
             b.iter(|| {
                 let config = SystemConfig::new(n);
-                let engines =
-                    (0..n as u32).map(|i| PbftEngine::new(&config, ReplicaId(i))).collect();
+                let engines = (0..n as u32)
+                    .map(|i| PbftEngine::new(&config, ReplicaId(i)))
+                    .collect();
                 let mut net: EngineNet<PbftEngine> = EngineNet::new(engines);
                 net.start();
                 drive_until_quiet(&mut net, 10);

@@ -9,7 +9,9 @@ use smp_types::{ClientId, MempoolConfig, ReplicaId, SystemConfig, Transaction};
 use stratus::{DlbConfig, LoadBalancer, StableTimeEstimator, StratusConfig, StratusMempool};
 
 fn txs(n: usize, base: u64) -> Vec<Transaction> {
-    (0..n).map(|i| Transaction::synthetic(ClientId(1), base + i as u64, 128, 0)).collect()
+    (0..n)
+        .map(|i| Transaction::synthetic(ClientId(1), base + i as u64, 128, 0))
+        .collect()
 }
 
 fn system() -> SystemConfig {
@@ -76,5 +78,10 @@ fn bench_pod_sampling(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_client_ingest, bench_estimator, bench_pod_sampling);
+criterion_group!(
+    benches,
+    bench_client_ingest,
+    bench_estimator,
+    bench_pod_sampling
+);
 criterion_main!(benches);

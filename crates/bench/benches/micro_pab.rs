@@ -9,7 +9,9 @@ use smp_types::{ClientId, Microblock, ReplicaId, Transaction};
 use stratus::PabEngine;
 
 fn microblock(txs: usize) -> Microblock {
-    let txs = (0..txs).map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0)).collect();
+    let txs = (0..txs)
+        .map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0))
+        .collect();
     Microblock::seal(ReplicaId(0), txs, 0)
 }
 
@@ -30,7 +32,9 @@ fn bench_proof_generation(c: &mut Criterion) {
         });
         let proof = QuorumProof::from_signatures(
             mb.id.digest(),
-            keys.iter().take(q).map(|k| Signature::sign(&k.secret, &mb.id.digest())),
+            keys.iter()
+                .take(q)
+                .map(|k| Signature::sign(&k.secret, &mb.id.digest())),
         );
         let pks: Vec<_> = keys.iter().map(|k| k.public).collect();
         group.bench_with_input(BenchmarkId::new("verify", q), &q, |b, &q| {
@@ -73,7 +77,9 @@ fn bench_fetch_target_selection(c: &mut Criterion) {
     let mb = microblock(4);
     let proof = QuorumProof::from_signatures(
         mb.id.digest(),
-        keys.iter().take(quorum).map(|k| Signature::sign(&k.secret, &mb.id.digest())),
+        keys.iter()
+            .take(quorum)
+            .map(|k| Signature::sign(&k.secret, &mb.id.digest())),
     );
     let engine = PabEngine::new(7, n, ReplicaId(99), quorum, 0.5);
     let mut rng = SmallRng::seed_from_u64(3);
@@ -82,5 +88,10 @@ fn bench_fetch_target_selection(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_proof_generation, bench_push_phase, bench_fetch_target_selection);
+criterion_group!(
+    benches,
+    bench_proof_generation,
+    bench_push_phase,
+    bench_fetch_target_selection
+);
 criterion_main!(benches);

@@ -1,0 +1,98 @@
+//! Criterion micro-benchmarks of the sharded mempool hot paths: routing,
+//! client-transaction fan-out, and cross-shard payload assembly as the
+//! shard count grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smp_mempool::{Mempool, SimpleSmp};
+use smp_shard::{ShardRouter, ShardedMempool};
+use smp_types::{ClientId, MempoolConfig, ReplicaId, SystemConfig, Transaction};
+
+fn txs(n: usize, base: u64) -> Vec<Transaction> {
+    (0..n)
+        .map(|i| Transaction::synthetic(ClientId(1), base + i as u64, 128, 0))
+        .collect()
+}
+
+fn system(shards: usize) -> SystemConfig {
+    SystemConfig::new(16)
+        .with_shards(shards)
+        .with_mempool(MempoolConfig {
+            batch_size_bytes: 16 * 1024,
+            ..MempoolConfig::default()
+        })
+}
+
+fn bench_router(c: &mut Criterion) {
+    let mut group = c.benchmark_group("shard_router_1k_txs");
+    for shards in [1usize, 4, 16] {
+        group.bench_with_input(
+            BenchmarkId::new("partition", shards),
+            &shards,
+            |b, &shards| {
+                let router = ShardRouter::new(shards);
+                let mut base = 0u64;
+                b.iter(|| {
+                    base += 1_000;
+                    router.partition(txs(1_000, base))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_sharded_ingest(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sharded_ingest_1k_txs");
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("simple_smp", shards),
+            &shards,
+            |b, &shards| {
+                let sys = system(shards);
+                let mut rng = SmallRng::seed_from_u64(1);
+                let mut mp =
+                    ShardedMempool::from_system(&sys, |_| SimpleSmp::new(&sys, ReplicaId(0)));
+                let mut seq = 0u64;
+                b.iter(|| {
+                    seq += 1_000;
+                    mp.on_client_txs(seq, txs(1_000, seq), &mut rng)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_cross_shard_payload(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cross_shard_make_payload");
+    for shards in [1usize, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("assemble", shards),
+            &shards,
+            |b, &shards| {
+                let sys = system(shards);
+                let mut rng = SmallRng::seed_from_u64(2);
+                let mut mp =
+                    ShardedMempool::from_system(&sys, |_| SimpleSmp::new(&sys, ReplicaId(0)));
+                let mut seq = 0u64;
+                b.iter(|| {
+                    // Keep refilling so every call assembles real content.
+                    seq += 2_000;
+                    let _ = mp.on_client_txs(seq, txs(2_000, seq), &mut rng);
+                    mp.make_payload(seq)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_router,
+    bench_sharded_ingest,
+    bench_cross_shard_payload
+);
+criterion_main!(benches);

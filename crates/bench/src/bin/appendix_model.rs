@@ -13,7 +13,12 @@ fn main() {
     let smp = SmpModel::new(params);
     let bound = absolute_upper_bound_tps(&params);
 
-    println!("parameters: C = {:.0} Mb/s, B = {:.0} bits, σ = {:.0} bits", params.capacity_bps / 1e6, params.tx_bits, params.vote_bits);
+    println!(
+        "parameters: C = {:.0} Mb/s, B = {:.0} bits, σ = {:.0} bits",
+        params.capacity_bps / 1e6,
+        params.tx_bits,
+        params.vote_bits
+    );
     println!("absolute upper bound C/B = {:.0} tx/s\n", bound);
     println!(
         "{:>6} {:>16} {:>16} {:>18} {:>14}",
@@ -27,8 +32,13 @@ fn main() {
     }
     println!("\nAppendix B balanced microblock size η = (n-2)γ:");
     for n in [64usize, 128, 256] {
-        println!("  n = {n:>4}: η = {:.0} KB", smp.balanced_microblock_bits(n) / 8.0 / 1024.0);
+        println!(
+            "  n = {n:>4}: η = {:.0} KB",
+            smp.balanced_microblock_bits(n) / 8.0 / 1024.0
+        );
     }
     println!("\nThe model shows LBFT throughput decaying as 1/(n-1) regardless of commit-phase");
-    println!("optimizations, while the shared mempool approaches C/2B — the motivation for Stratus.");
+    println!(
+        "optimizations, while the shared mempool approaches C/2B — the motivation for Stratus."
+    );
 }

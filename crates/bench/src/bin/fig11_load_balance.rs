@@ -8,16 +8,23 @@ use smp_workload::LoadDistribution;
 
 fn main() {
     let scale = Scale::from_args();
-    header("Figure 11 — throughput under unbalanced workloads (WAN)", scale);
+    header(
+        "Figure 11 — throughput under unbalanced workloads (WAN)",
+        scale,
+    );
 
     let sizes: Vec<usize> = scale.pick(vec![16, 32], vec![100, 200, 300, 400]);
     let rate = scale.pick(10_000.0, 40_000.0);
 
-    for (dist_label, dist) in
-        [("Zipf1 (highly skewed)", LoadDistribution::zipf1()), ("Zipf10 (lightly skewed)", LoadDistribution::zipf10())]
-    {
+    for (dist_label, dist) in [
+        ("Zipf1 (highly skewed)", LoadDistribution::zipf1()),
+        ("Zipf10 (lightly skewed)", LoadDistribution::zipf10()),
+    ] {
         println!("\n=== {dist_label} ===");
-        println!("{:<14} {:>6} {:>12} {:>12}", "config", "n", "KTx/s", "lat ms");
+        println!(
+            "{:<14} {:>6} {:>12} {:>12}",
+            "config", "n", "KTx/s", "lat ms"
+        );
         for &n in &sizes {
             let base = |protocol| {
                 ExperimentConfig::new(protocol, n, rate)
@@ -29,11 +36,20 @@ fn main() {
             let even = run(&ExperimentConfig::new(Protocol::StratusHotStuff, n, rate)
                 .wan()
                 .with_duration(MICROS_PER_SEC, scale.pick(3, 5) * MICROS_PER_SEC));
-            println!("{:<14} {n:>6} {:>12.2} {:>12.1}", "S-HS-Even", even.summary.throughput_ktps, even.summary.mean_latency_ms);
+            println!(
+                "{:<14} {n:>6} {:>12.2} {:>12.1}",
+                "S-HS-Even", even.summary.throughput_ktps, even.summary.mean_latency_ms
+            );
             let smp = run(&base(Protocol::SmpHotStuff));
-            println!("{:<14} {n:>6} {:>12.2} {:>12.1}", "SMP-HS", smp.summary.throughput_ktps, smp.summary.mean_latency_ms);
+            println!(
+                "{:<14} {n:>6} {:>12.2} {:>12.1}",
+                "SMP-HS", smp.summary.throughput_ktps, smp.summary.mean_latency_ms
+            );
             let gossip = run(&base(Protocol::SmpHotStuffGossip));
-            println!("{:<14} {n:>6} {:>12.2} {:>12.1}", "SMP-HS-G", gossip.summary.throughput_ktps, gossip.summary.mean_latency_ms);
+            println!(
+                "{:<14} {n:>6} {:>12.2} {:>12.1}",
+                "SMP-HS-G", gossip.summary.throughput_ktps, gossip.summary.mean_latency_ms
+            );
             for d in [1usize, 2, 3] {
                 let r = run(&base(Protocol::StratusHotStuff).with_dlb_d(d));
                 println!(
@@ -46,6 +62,8 @@ fn main() {
         }
     }
     println!("\nExpected shape (paper Figure 11): under Zipf1 the load-balanced configurations");
-    println!("reach 5-10x the throughput of SMP-HS; d = 3 is best, and gossip does not scale under");
+    println!(
+        "reach 5-10x the throughput of SMP-HS; d = 3 is best, and gossip does not scale under"
+    );
     println!("the lightly skewed workload because of its redundancy.");
 }

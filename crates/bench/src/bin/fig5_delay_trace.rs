@@ -7,7 +7,10 @@ use smp_workload::{DelayTrace, TraceConfig};
 
 fn main() {
     let scale = Scale::from_args();
-    header("Figure 5 — WAN round-trip delay stability (synthetic trace)", scale);
+    header(
+        "Figure 5 — WAN round-trip delay stability (synthetic trace)",
+        scale,
+    );
     let config = TraceConfig {
         minutes: scale.pick(120, 1_440),
         samples_per_minute: scale.pick(1_000, 4_000),
@@ -27,5 +30,7 @@ fn main() {
         println!("  p{p:<4} = {:.2} ms", trace.minute_percentile(minute, p));
     }
     println!("\nmean over the trace: {:.2} ms", trace.mean_ms());
-    println!("=> delays are stable and predictable, which is what the stable-time estimator relies on.");
+    println!(
+        "=> delays are stable and predictable, which is what the stable-time estimator relies on."
+    );
 }

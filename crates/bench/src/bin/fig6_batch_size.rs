@@ -7,20 +7,32 @@ use smp_types::MICROS_PER_SEC;
 
 fn main() {
     let scale = Scale::from_args();
-    header("Figure 6 — throughput vs latency across batch sizes (S-HS, LAN)", scale);
+    header(
+        "Figure 6 — throughput vs latency across batch sizes (S-HS, LAN)",
+        scale,
+    );
 
     // (network size, batch sizes) pairs as in the paper; quick mode scales
     // the replica counts down but keeps the batch-size sweep.
     let settings: Vec<(usize, Vec<usize>)> = scale.pick(
-        vec![(16, vec![32 * 1024, 64 * 1024, 128 * 1024]), (32, vec![128 * 1024, 256 * 1024, 512 * 1024])],
+        vec![
+            (16, vec![32 * 1024, 64 * 1024, 128 * 1024]),
+            (32, vec![128 * 1024, 256 * 1024, 512 * 1024]),
+        ],
         vec![
             (128, vec![32 * 1024, 64 * 1024, 128 * 1024]),
             (256, vec![128 * 1024, 256 * 1024, 512 * 1024]),
         ],
     );
-    let loads = scale.pick(vec![10_000.0, 40_000.0, 80_000.0], vec![20_000.0, 60_000.0, 120_000.0, 200_000.0]);
+    let loads = scale.pick(
+        vec![10_000.0, 40_000.0, 80_000.0],
+        vec![20_000.0, 60_000.0, 120_000.0, 200_000.0],
+    );
 
-    println!("\n{:<16} {:>12} {:>14} {:>12}", "setting", "offered tx/s", "KTx/s", "latency ms");
+    println!(
+        "\n{:<16} {:>12} {:>14} {:>12}",
+        "setting", "offered tx/s", "KTx/s", "latency ms"
+    );
     for (n, batches) in settings {
         for batch in batches {
             for load in &loads {

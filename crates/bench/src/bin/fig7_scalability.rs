@@ -11,7 +11,10 @@ fn main() {
     let scale = Scale::from_args();
     let net = arg_value("--net").unwrap_or_else(|| "lan".to_string());
     let wan = net == "wan";
-    header(&format!("Figure 7 — scalability ({})", net.to_uppercase()), scale);
+    header(
+        &format!("Figure 7 — scalability ({})", net.to_uppercase()),
+        scale,
+    );
 
     let sizes: Vec<usize> = scale.pick(vec![16, 32, 64], vec![16, 64, 128, 256, 400]);
     let rates = rate_grid(scale, wan);

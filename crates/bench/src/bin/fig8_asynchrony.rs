@@ -9,7 +9,10 @@ use smp_types::MICROS_PER_SEC;
 
 fn main() {
     let scale = Scale::from_args();
-    header("Figure 8 — throughput under a network fluctuation (WAN)", scale);
+    header(
+        "Figure 8 — throughput under a network fluctuation (WAN)",
+        scale,
+    );
 
     let n = scale.pick(16, 32);
     let rate = scale.pick(10_000.0, 25_000.0);
@@ -55,7 +58,9 @@ fn main() {
         };
         println!("{t:<6} {a:>12.1} {b:>12.1}{marker}");
     }
-    println!("\nExpected shape (paper Figure 8): SMP-HS drops to ~0 during the fluctuation (missing");
+    println!(
+        "\nExpected shape (paper Figure 8): SMP-HS drops to ~0 during the fluctuation (missing"
+    );
     println!("microblocks block consensus, view changes fire) and recovers slowly; S-HS keeps");
     println!("committing at network speed with no view changes.");
 }

@@ -19,13 +19,21 @@ fn main() {
 
     for (n, byz_counts) in grids {
         println!("\n--- {n} total replicas ---");
-        println!("{:<10} {:>6} {:>12} {:>12} {:>8}", "protocol", "byz", "KTx/s", "lat ms", "vc");
+        println!(
+            "{:<10} {:>6} {:>12} {:>12} {:>8}",
+            "protocol", "byz", "KTx/s", "lat ms", "vc"
+        );
         for byz in byz_counts {
             let f = (n - 1) / 3;
             let configs = [
                 ("SMP-HS", Protocol::SmpHotStuff, None, 0usize),
                 ("S-HS-f", Protocol::StratusHotStuff, Some(f + 1), f + 1),
-                ("S-HS-2f", Protocol::StratusHotStuff, Some(2 * f + 1), 2 * f + 1),
+                (
+                    "S-HS-2f",
+                    Protocol::StratusHotStuff,
+                    Some(2 * f + 1),
+                    2 * f + 1,
+                ),
             ];
             for (label, protocol, quorum, extra) in configs {
                 let mut cfg = ExperimentConfig::new(protocol, n, rate)
@@ -42,7 +50,9 @@ fn main() {
             }
         }
     }
-    println!("\nExpected shape (paper Figure 9): SMP-HS throughput collapses and latency surges as");
+    println!(
+        "\nExpected shape (paper Figure 9): SMP-HS throughput collapses and latency surges as"
+    );
     println!("Byzantine senders grow (every proposal forces fetches from the leader); S-HS only");
     println!("dips slightly, with the 2f+1 quorum trading a little latency for fewer fetches.");
 }

@@ -7,7 +7,10 @@ use smp_replica::{run, ExperimentConfig, Protocol};
 
 fn main() {
     let scale = Scale::from_args();
-    header("Table I — existing work addressing the leader bottleneck", scale);
+    header(
+        "Table I — existing work addressing the leader bottleneck",
+        scale,
+    );
     let n = scale.pick(16, 64);
     let rate = 10_000.0;
 
@@ -53,7 +56,11 @@ fn main() {
             avail,
             lb,
             msgs,
-            if matches!(protocol, Protocol::Narwhal | Protocol::MirBft) { "n^2" } else { "n" }
+            if matches!(protocol, Protocol::Narwhal | Protocol::MirBft) {
+                "n^2"
+            } else {
+                "n"
+            }
         );
     }
     println!("\n(The qualitative columns restate Table I; the last column is measured on the simulator.)");

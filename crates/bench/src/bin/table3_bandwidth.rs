@@ -7,16 +7,27 @@ use smp_types::MICROS_PER_SEC;
 
 fn main() {
     let scale = Scale::from_args();
-    header("Table III — outbound bandwidth by role and message type (WAN, saturated)", scale);
+    header(
+        "Table III — outbound bandwidth by role and message type (WAN, saturated)",
+        scale,
+    );
     let n = scale.pick(16, 64);
     let rates = rate_grid(scale, true);
 
-    for protocol in [Protocol::NativeHotStuff, Protocol::SmpHotStuff, Protocol::StratusHotStuff] {
+    for protocol in [
+        Protocol::NativeHotStuff,
+        Protocol::SmpHotStuff,
+        Protocol::StratusHotStuff,
+    ] {
         let cfg = ExperimentConfig::new(protocol, n, rates[0])
             .wan()
             .with_duration(MICROS_PER_SEC, scale.pick(3, 6) * MICROS_PER_SEC);
         let best = saturated(&cfg, &rates);
-        println!("\n=== {} (n = {n}, saturated at {:.0} tx/s offered) ===", protocol.label(), best.offered_tps);
+        println!(
+            "\n=== {} (n = {n}, saturated at {:.0} tx/s offered) ===",
+            protocol.label(),
+            best.offered_tps
+        );
         println!("{:<12} {:<14} {:>10}", "role", "message", "Mb/s");
         for (role, kind, mbps) in best.bandwidth.rows() {
             println!("{role:<12} {kind:<14} {mbps:>10.1}");
@@ -24,5 +35,7 @@ fn main() {
     }
     println!("\nExpected shape (paper Table III): N-HS concentrates its outbound bandwidth in the");
     println!("leader's proposals while non-leaders sit almost idle; SMP-HS and S-HS spread the");
-    println!("microblock traffic over all replicas, with S-HS adding ~10% overhead for acks/proofs.");
+    println!(
+        "microblock traffic over all replicas, with S-HS adding ~10% overhead for acks/proofs."
+    );
 }

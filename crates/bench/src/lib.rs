@@ -40,7 +40,9 @@ impl Scale {
 /// Returns an extra free-form `--net <value>` style argument.
 pub fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
-    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Prints the standard harness header.
@@ -81,7 +83,10 @@ pub fn rate_grid(scale: Scale, wan: bool) -> Vec<f64> {
 /// Convenience: runs a saturation sweep and returns the best point.
 pub fn saturated(base: &ExperimentConfig, rates: &[f64]) -> ExperimentResult {
     let (best, results) = smp_replica::saturation_sweep(base, rates, 20_000.0);
-    results.into_iter().nth(best).expect("sweep returned at least one result")
+    results
+        .into_iter()
+        .nth(best)
+        .expect("sweep returned at least one result")
 }
 
 #[cfg(test)]

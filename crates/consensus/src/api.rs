@@ -234,7 +234,11 @@ pub struct QuorumCert {
 impl QuorumCert {
     /// The genesis certificate.
     pub fn genesis() -> Self {
-        QuorumCert { block: BlockId::GENESIS, view: View(0), proof: QuorumProof::default() }
+        QuorumCert {
+            block: BlockId::GENESIS,
+            view: View(0),
+            proof: QuorumProof::default(),
+        }
     }
 }
 
@@ -283,18 +287,35 @@ mod tests {
         let mut agg = VoteAggregator::new();
         let b = BlockId(Digest::of_u64(1));
         assert!(!agg.record(View(1), b, ReplicaId(0), 3));
-        assert!(!agg.record(View(1), b, ReplicaId(0), 3), "duplicate voter ignored");
+        assert!(
+            !agg.record(View(1), b, ReplicaId(0), 3),
+            "duplicate voter ignored"
+        );
         assert!(!agg.record(View(1), b, ReplicaId(1), 3));
         assert!(agg.record(View(1), b, ReplicaId(2), 3));
-        assert!(!agg.record(View(1), b, ReplicaId(3), 3), "quorum reported only once");
+        assert!(
+            !agg.record(View(1), b, ReplicaId(3), 3),
+            "quorum reported only once"
+        );
         assert_eq!(agg.count(View(1), b), 3);
     }
 
     #[test]
     fn consensus_msg_kinds_and_sizes() {
-        let p = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, true);
+        let p = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Empty,
+            true,
+        );
         assert_eq!(ConsensusMsg::Propose(p.clone()).kind(), "proposal");
-        let vote = ConsensusMsg::Vote { view: View(1), block: p.id, voter: ReplicaId(1) };
+        let vote = ConsensusMsg::Vote {
+            view: View(1),
+            block: p.id,
+            voter: ReplicaId(1),
+        };
         assert_eq!(vote.kind(), "vote");
         assert_eq!(vote.wire_size(), wire::VOTE_BYTES);
         assert!(ConsensusMsg::Propose(p).wire_size() >= wire::PROPOSAL_HEADER_BYTES);
@@ -303,8 +324,19 @@ mod tests {
     #[test]
     fn effects_builders() {
         let mut fx = CEffects::none();
-        fx.send(ReplicaId(1), ConsensusMsg::NewView { view: View(2), voter: ReplicaId(0), high_qc_view: View(1) });
-        fx.broadcast(ConsensusMsg::NewView { view: View(2), voter: ReplicaId(0), high_qc_view: View(1) });
+        fx.send(
+            ReplicaId(1),
+            ConsensusMsg::NewView {
+                view: View(2),
+                voter: ReplicaId(0),
+                high_qc_view: View(1),
+            },
+        );
+        fx.broadcast(ConsensusMsg::NewView {
+            view: View(2),
+            voter: ReplicaId(0),
+            high_qc_view: View(1),
+        });
         fx.timer(100, 7);
         fx.event(CEvent::ViewChange { abandoned: View(1) });
         let mut other = CEffects::none();

@@ -107,9 +107,15 @@ impl HotStuffEngine {
     /// Applies the three-chain commit rule after `parent` (the block the
     /// newly accepted proposal extends) received a quorum certificate.
     fn try_commit(&mut self, parent: BlockId, effects: &mut CEffects) {
-        let Some(b1) = self.blocks.get(&parent).cloned() else { return };
-        let Some(b2) = self.blocks.get(&b1.parent).cloned() else { return };
-        let Some(b3) = self.blocks.get(&b2.parent).cloned() else { return };
+        let Some(b1) = self.blocks.get(&parent).cloned() else {
+            return;
+        };
+        let Some(b2) = self.blocks.get(&b1.parent).cloned() else {
+            return;
+        };
+        let Some(b3) = self.blocks.get(&b2.parent).cloned() else {
+            return;
+        };
         // Three consecutive views certify the oldest block of the chain.
         if b1.view.0 != b2.view.0 + 1 || b2.view.0 != b3.view.0 + 1 {
             return;
@@ -139,7 +145,11 @@ impl HotStuffEngine {
         let next_leader = self.leader_of(proposal.view.next());
         effects.send(
             next_leader,
-            ConsensusMsg::Vote { view: proposal.view, block: proposal.id, voter: self.me },
+            ConsensusMsg::Vote {
+                view: proposal.view,
+                block: proposal.id,
+                voter: self.me,
+            },
         );
         // Receiving a valid proposal for view v is the signal to move to
         // view v + 1 (optimistic responsiveness).
@@ -187,18 +197,28 @@ impl ConsensusEngine for HotStuffEngine {
                 }
                 if self.votes.record(view, block, voter, self.quorum) {
                     if view >= self.high_qc.view {
-                        self.high_qc =
-                            QuorumCert { block, view, proof: QuorumProof::default() };
+                        self.high_qc = QuorumCert {
+                            block,
+                            view,
+                            proof: QuorumProof::default(),
+                        };
                     }
                     self.advance_to(view.next(), &mut fx);
                     self.request_payload_if_leader(view.next(), &mut fx);
                 }
             }
-            ConsensusMsg::NewView { view, voter, high_qc_view: _ } => {
+            ConsensusMsg::NewView {
+                view,
+                voter,
+                high_qc_view: _,
+            } => {
                 if !self.is_leader(view) {
                     return fx;
                 }
-                if self.new_views.record(view, BlockId::GENESIS, voter, self.quorum) {
+                if self
+                    .new_views
+                    .record(view, BlockId::GENESIS, voter, self.quorum)
+                {
                     self.advance_to(view, &mut fx);
                     self.request_payload_if_leader(view, &mut fx);
                 }
@@ -234,7 +254,10 @@ impl ConsensusEngine for HotStuffEngine {
         };
         if next_leader == self.me {
             // Count our own new-view message immediately.
-            if self.new_views.record(self.view, BlockId::GENESIS, self.me, self.quorum) {
+            if self
+                .new_views
+                .record(self.view, BlockId::GENESIS, self.me, self.quorum)
+            {
                 self.request_payload_if_leader(self.view, &mut fx);
             }
         } else {
@@ -267,7 +290,9 @@ impl ConsensusEngine for HotStuffEngine {
         verdict: ProposalVerdict,
     ) -> CEffects {
         let mut fx = CEffects::none();
-        let Some(proposal) = self.blocks.get(&block).cloned() else { return fx };
+        let Some(proposal) = self.blocks.get(&block).cloned() else {
+            return fx;
+        };
         match verdict {
             ProposalVerdict::Accept => {
                 if proposal.view.0 + 1 >= self.view.0 {
@@ -276,7 +301,9 @@ impl ConsensusEngine for HotStuffEngine {
             }
             ProposalVerdict::Reject => {
                 self.view_changes += 1;
-                fx.event(CEvent::ViewChange { abandoned: proposal.view });
+                fx.event(CEvent::ViewChange {
+                    abandoned: proposal.view,
+                });
                 let next = proposal.view.next();
                 if next > self.view {
                     self.view = next;
@@ -315,7 +342,11 @@ mod tests {
 
     fn net(n: usize) -> EngineNet<HotStuffEngine> {
         let config = SystemConfig::new(n);
-        EngineNet::new((0..n as u32).map(|i| HotStuffEngine::new(&config, ReplicaId(i))).collect())
+        EngineNet::new(
+            (0..n as u32)
+                .map(|i| HotStuffEngine::new(&config, ReplicaId(i)))
+                .collect(),
+        )
     }
 
     #[test]
@@ -323,10 +354,16 @@ mod tests {
         let config = SystemConfig::new(4);
         let mut e = HotStuffEngine::new(&config, ReplicaId(1));
         let fx = e.on_start(0);
-        assert!(fx.events.iter().any(|ev| matches!(ev, CEvent::NeedPayload { view } if *view == View(1))));
+        assert!(fx
+            .events
+            .iter()
+            .any(|ev| matches!(ev, CEvent::NeedPayload { view } if *view == View(1))));
         let mut e0 = HotStuffEngine::new(&config, ReplicaId(0));
         let fx0 = e0.on_start(0);
-        assert!(!fx0.events.iter().any(|ev| matches!(ev, CEvent::NeedPayload { .. })));
+        assert!(!fx0
+            .events
+            .iter()
+            .any(|ev| matches!(ev, CEvent::NeedPayload { .. })));
     }
 
     #[test]
@@ -335,14 +372,25 @@ mod tests {
         net.start();
         // Let the network run several rounds with empty payloads.
         drive_until_quiet(&mut net, 30);
-        let committed = net.engines().iter().map(|e| e.committed_count()).min().unwrap();
-        assert!(committed >= 1, "pipelined empty proposals should commit, got {committed}");
+        let committed = net
+            .engines()
+            .iter()
+            .map(|e| e.committed_count())
+            .min()
+            .unwrap();
+        assert!(
+            committed >= 1,
+            "pipelined empty proposals should commit, got {committed}"
+        );
         // All replicas commit the same prefix.
         let chains = net.committed_chains();
         let shortest = chains.iter().map(|c| c.len()).min().unwrap();
         for i in 0..shortest {
             let first = chains[0][i];
-            assert!(chains.iter().all(|c| c[i] == first), "divergence at height {i}");
+            assert!(
+                chains.iter().all(|c| c[i] == first),
+                "divergence at height {i}"
+            );
         }
     }
 
@@ -368,7 +416,10 @@ mod tests {
             .map(|(_, e)| e.committed_count())
             .min()
             .unwrap();
-        assert!(committed >= 1, "view change should restore progress, got {committed}");
+        assert!(
+            committed >= 1,
+            "view change should restore progress, got {committed}"
+        );
         assert!(net.engines()[0].view_changes() >= 1);
     }
 
@@ -389,10 +440,19 @@ mod tests {
             })
             .unwrap();
         let fx = follower.on_message(1, ReplicaId(1), ConsensusMsg::Propose(proposal.clone()));
-        assert!(fx.events.iter().any(|e| matches!(e, CEvent::VerifyProposal { .. })));
+        assert!(fx
+            .events
+            .iter()
+            .any(|e| matches!(e, CEvent::VerifyProposal { .. })));
         let fx = follower.on_proposal_verdict(2, proposal.id, ProposalVerdict::Reject);
-        assert!(fx.events.iter().any(|e| matches!(e, CEvent::ViewChange { .. })));
-        assert!(!fx.msgs.iter().any(|(_, m)| matches!(m, ConsensusMsg::Vote { .. })));
+        assert!(fx
+            .events
+            .iter()
+            .any(|e| matches!(e, CEvent::ViewChange { .. })));
+        assert!(!fx
+            .msgs
+            .iter()
+            .any(|(_, m)| matches!(m, ConsensusMsg::Vote { .. })));
     }
 
     #[test]
@@ -401,14 +461,25 @@ mod tests {
         let mut e = HotStuffEngine::new(&config, ReplicaId(3));
         let _ = e.on_start(0);
         // A proposal from a non-leader is dropped.
-        let bogus = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(2), Payload::Empty, true);
+        let bogus = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(2),
+            Payload::Empty,
+            true,
+        );
         let fx = e.on_message(0, ReplicaId(2), ConsensusMsg::Propose(bogus));
         assert!(fx.events.is_empty());
         // A vote addressed to a different next-leader is dropped.
         let fx = e.on_message(
             0,
             ReplicaId(0),
-            ConsensusMsg::Vote { view: View(1), block: BlockId::GENESIS, voter: ReplicaId(0) },
+            ConsensusMsg::Vote {
+                view: View(1),
+                block: BlockId::GENESIS,
+                voter: ReplicaId(0),
+            },
         );
         assert!(fx.events.is_empty() && fx.msgs.is_empty());
     }

@@ -66,15 +66,28 @@ impl MirBftEngine {
         self.next_seq
     }
 
-    fn record_prepare(&mut self, view: View, block: BlockId, voter: ReplicaId, instance: ReplicaId, fx: &mut CEffects) {
+    fn record_prepare(
+        &mut self,
+        view: View,
+        block: BlockId,
+        voter: ReplicaId,
+        instance: ReplicaId,
+        fx: &mut CEffects,
+    ) {
         if self.prepares.record(view, block, voter, self.quorum) {
-            fx.broadcast(ConsensusMsg::Commit { view, block, voter: self.me, instance });
+            fx.broadcast(ConsensusMsg::Commit {
+                view,
+                block,
+                voter: self.me,
+                instance,
+            });
             self.record_commit(view, block, self.me, fx);
         }
     }
 
     fn record_commit(&mut self, view: View, block: BlockId, voter: ReplicaId, fx: &mut CEffects) {
-        if self.commits.record(view, block, voter, self.quorum) && !self.committed.contains(&block) {
+        if self.commits.record(view, block, voter, self.quorum) && !self.committed.contains(&block)
+        {
             if let Some(p) = self.blocks.get(&block).cloned() {
                 self.committed.insert(block);
                 self.committed_count += 1;
@@ -90,7 +103,9 @@ impl ConsensusEngine for MirBftEngine {
         let mut fx = CEffects::none();
         fx.timer(self.propose_interval, PROPOSE_INTERVAL_TAG);
         self.awaiting_payload = true;
-        fx.event(CEvent::NeedPayload { view: View(self.next_seq) });
+        fx.event(CEvent::NeedPayload {
+            view: View(self.next_seq),
+        });
         fx
     }
 
@@ -104,10 +119,17 @@ impl ConsensusEngine for MirBftEngine {
                 self.blocks.insert(p.id, p.clone());
                 fx.event(CEvent::VerifyProposal { proposal: p });
             }
-            ConsensusMsg::Prepare { view, block, voter, instance } => {
+            ConsensusMsg::Prepare {
+                view,
+                block,
+                voter,
+                instance,
+            } => {
                 self.record_prepare(view, block, voter, instance, &mut fx);
             }
-            ConsensusMsg::Commit { view, block, voter, .. } => {
+            ConsensusMsg::Commit {
+                view, block, voter, ..
+            } => {
                 self.record_commit(view, block, voter, &mut fx);
             }
             _ => {}
@@ -123,7 +145,9 @@ impl ConsensusEngine for MirBftEngine {
         fx.timer(self.propose_interval, PROPOSE_INTERVAL_TAG);
         if !self.awaiting_payload {
             self.awaiting_payload = true;
-            fx.event(CEvent::NeedPayload { view: View(self.next_seq) });
+            fx.event(CEvent::NeedPayload {
+                view: View(self.next_seq),
+            });
         }
         fx
     }
@@ -139,7 +163,11 @@ impl ConsensusEngine for MirBftEngine {
             // the network with empty per-leader proposals.
             return fx;
         }
-        let parent = self.instance_tips.get(&self.me).copied().unwrap_or(BlockId::GENESIS);
+        let parent = self
+            .instance_tips
+            .get(&self.me)
+            .copied()
+            .unwrap_or(BlockId::GENESIS);
         let proposal = Proposal::new(view, self.next_seq, parent, self.me, payload, false);
         self.next_seq += 1;
         self.blocks.insert(proposal.id, proposal.clone());
@@ -161,7 +189,9 @@ impl ConsensusEngine for MirBftEngine {
         verdict: ProposalVerdict,
     ) -> CEffects {
         let mut fx = CEffects::none();
-        let Some(p) = self.blocks.get(&block).cloned() else { return fx };
+        let Some(p) = self.blocks.get(&block).cloned() else {
+            return fx;
+        };
         if verdict == ProposalVerdict::Accept {
             fx.broadcast(ConsensusMsg::Prepare {
                 view: p.view,
@@ -246,13 +276,23 @@ mod tests {
             }
         }
         let mut net: EngineNet<Filler> = EngineNet::new(
-            (0..4u32).map(|i| Filler(MirBftEngine::new(&config, ReplicaId(i)))).collect(),
+            (0..4u32)
+                .map(|i| Filler(MirBftEngine::new(&config, ReplicaId(i))))
+                .collect(),
         );
         net.start();
         drive_until_quiet(&mut net, 50);
         // All four instances commit their first batch on every replica.
-        let committed = net.engines().iter().map(|e| e.committed_count()).min().unwrap();
-        assert!(committed >= 4, "each of the 4 leaders' batches should commit, got {committed}");
+        let committed = net
+            .engines()
+            .iter()
+            .map(|e| e.committed_count())
+            .min()
+            .unwrap();
+        assert!(
+            committed >= 4,
+            "each of the 4 leaders' batches should commit, got {committed}"
+        );
     }
 
     #[test]
@@ -260,22 +300,45 @@ mod tests {
         let config = SystemConfig::new(4);
         let mut e = MirBftEngine::new(&config, ReplicaId(0));
         let _ = e.on_start(0);
-        let p = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(2), Payload::Empty, false);
+        let p = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(2),
+            Payload::Empty,
+            false,
+        );
         let _ = e.on_message(0, ReplicaId(2), ConsensusMsg::Propose(p.clone()));
         for voter in [1u32, 2] {
             let fx = e.on_message(
                 0,
                 ReplicaId(voter),
-                ConsensusMsg::Commit { view: View(1), block: p.id, voter: ReplicaId(voter), instance: ReplicaId(2) },
+                ConsensusMsg::Commit {
+                    view: View(1),
+                    block: p.id,
+                    voter: ReplicaId(voter),
+                    instance: ReplicaId(2),
+                },
             );
-            assert!(fx.events.iter().all(|ev| !matches!(ev, CEvent::Committed { .. })));
+            assert!(fx
+                .events
+                .iter()
+                .all(|ev| !matches!(ev, CEvent::Committed { .. })));
         }
         let fx = e.on_message(
             0,
             ReplicaId(3),
-            ConsensusMsg::Commit { view: View(1), block: p.id, voter: ReplicaId(3), instance: ReplicaId(2) },
+            ConsensusMsg::Commit {
+                view: View(1),
+                block: p.id,
+                voter: ReplicaId(3),
+                instance: ReplicaId(2),
+            },
         );
-        assert!(fx.events.iter().any(|ev| matches!(ev, CEvent::Committed { .. })));
+        assert!(fx
+            .events
+            .iter()
+            .any(|ev| matches!(ev, CEvent::Committed { .. })));
         assert_eq!(e.committed_count(), 1);
     }
 }

@@ -86,13 +86,19 @@ impl PbftEngine {
     fn record_prepare(&mut self, view: View, block: BlockId, voter: ReplicaId, fx: &mut CEffects) {
         if self.prepares.record(view, block, voter, self.quorum) {
             self.prepared.insert(block);
-            fx.broadcast(ConsensusMsg::Commit { view, block, voter: self.me, instance: self.me });
+            fx.broadcast(ConsensusMsg::Commit {
+                view,
+                block,
+                voter: self.me,
+                instance: self.me,
+            });
             self.record_commit(view, block, self.me, fx);
         }
     }
 
     fn record_commit(&mut self, view: View, block: BlockId, voter: ReplicaId, fx: &mut CEffects) {
-        if self.commits.record(view, block, voter, self.quorum) && !self.committed.contains(&block) {
+        if self.commits.record(view, block, voter, self.quorum) && !self.committed.contains(&block)
+        {
             if let Some(p) = self.blocks.get(&block).cloned() {
                 self.committed.insert(block);
                 self.committed_count += 1;
@@ -135,15 +141,21 @@ impl ConsensusEngine for PbftEngine {
                 self.blocks.insert(p.id, p.clone());
                 fx.event(CEvent::VerifyProposal { proposal: p });
             }
-            ConsensusMsg::Prepare { view, block, voter, .. } => {
+            ConsensusMsg::Prepare {
+                view, block, voter, ..
+            } => {
                 self.record_prepare(view, block, voter, &mut fx);
             }
-            ConsensusMsg::Commit { view, block, voter, .. } => {
+            ConsensusMsg::Commit {
+                view, block, voter, ..
+            } => {
                 self.record_commit(view, block, voter, &mut fx);
             }
             ConsensusMsg::NewView { view, voter, .. } => {
                 if self.is_leader(view)
-                    && self.new_views.record(view, BlockId::GENESIS, voter, self.quorum)
+                    && self
+                        .new_views
+                        .record(view, BlockId::GENESIS, voter, self.quorum)
                 {
                     if view > self.view {
                         self.view = view;
@@ -167,18 +179,27 @@ impl ConsensusEngine for PbftEngine {
             return fx;
         }
         self.view_changes += 1;
-        fx.event(CEvent::ViewChange { abandoned: self.view });
+        fx.event(CEvent::ViewChange {
+            abandoned: self.view,
+        });
         self.view = self.view.next();
         self.arm_view_timer(&mut fx);
         let leader = self.leader_of(self.view);
         if leader == self.me {
-            if self.new_views.record(self.view, BlockId::GENESIS, self.me, self.quorum) {
+            if self
+                .new_views
+                .record(self.view, BlockId::GENESIS, self.me, self.quorum)
+            {
                 self.request_payload_if_leader(self.view, &mut fx);
             }
         } else {
             fx.send(
                 leader,
-                ConsensusMsg::NewView { view: self.view, voter: self.me, high_qc_view: View(0) },
+                ConsensusMsg::NewView {
+                    view: self.view,
+                    voter: self.me,
+                    high_qc_view: View(0),
+                },
             );
         }
         fx
@@ -212,7 +233,9 @@ impl ConsensusEngine for PbftEngine {
         verdict: ProposalVerdict,
     ) -> CEffects {
         let mut fx = CEffects::none();
-        let Some(p) = self.blocks.get(&block).cloned() else { return fx };
+        let Some(p) = self.blocks.get(&block).cloned() else {
+            return fx;
+        };
         match verdict {
             ProposalVerdict::Accept => {
                 fx.broadcast(ConsensusMsg::Prepare {
@@ -233,7 +256,11 @@ impl ConsensusEngine for PbftEngine {
                 }
                 fx.send(
                     self.leader_of(self.view),
-                    ConsensusMsg::NewView { view: self.view, voter: self.me, high_qc_view: View(0) },
+                    ConsensusMsg::NewView {
+                        view: self.view,
+                        voter: self.me,
+                        high_qc_view: View(0),
+                    },
                 );
             }
         }
@@ -260,7 +287,11 @@ mod tests {
 
     fn net(n: usize) -> EngineNet<PbftEngine> {
         let config = SystemConfig::new(n);
-        EngineNet::new((0..n as u32).map(|i| PbftEngine::new(&config, ReplicaId(i))).collect())
+        EngineNet::new(
+            (0..n as u32)
+                .map(|i| PbftEngine::new(&config, ReplicaId(i)))
+                .collect(),
+        )
     }
 
     #[test]
@@ -268,12 +299,23 @@ mod tests {
         let mut net = net(4);
         net.start();
         drive_until_quiet(&mut net, 50);
-        let committed = net.engines().iter().map(|e| e.committed_count()).min().unwrap();
-        assert!(committed >= 2, "sequential PBFT should commit several blocks, got {committed}");
+        let committed = net
+            .engines()
+            .iter()
+            .map(|e| e.committed_count())
+            .min()
+            .unwrap();
+        assert!(
+            committed >= 2,
+            "sequential PBFT should commit several blocks, got {committed}"
+        );
         let chains = net.committed_chains();
         let shortest = chains.iter().map(|c| c.len()).min().unwrap();
         for i in 0..shortest {
-            assert!(chains.iter().all(|c| c[i] == chains[0][i]), "divergence at {i}");
+            assert!(
+                chains.iter().all(|c| c[i] == chains[0][i]),
+                "divergence at {i}"
+            );
         }
     }
 
@@ -310,7 +352,10 @@ mod tests {
             .map(|(_, e)| e.committed_count())
             .min()
             .unwrap();
-        assert!(committed >= 1, "progress should resume after the view change");
+        assert!(
+            committed >= 1,
+            "progress should resume after the view change"
+        );
     }
 
     #[test]
@@ -318,7 +363,14 @@ mod tests {
         let config = SystemConfig::new(4);
         let mut e = PbftEngine::new(&config, ReplicaId(0));
         let _ = e.on_start(0);
-        let bogus = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(3), Payload::Empty, false);
+        let bogus = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(3),
+            Payload::Empty,
+            false,
+        );
         let fx = e.on_message(0, ReplicaId(3), ConsensusMsg::Propose(bogus));
         assert!(fx.events.is_empty());
     }

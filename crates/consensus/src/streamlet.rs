@@ -84,15 +84,21 @@ impl StreamletEngine {
         if !self.notarized.insert(block) {
             return;
         }
-        let Some(p) = self.blocks.get(&block).cloned() else { return };
+        let Some(p) = self.blocks.get(&block).cloned() else {
+            return;
+        };
         if p.height > self.longest_notarized_height {
             self.longest_notarized_height = p.height;
             self.longest_notarized_tip = block;
         }
         // Finalization: three adjacent notarized blocks with consecutive
         // epochs finalize everything up to the middle one.
-        let Some(parent) = self.blocks.get(&p.parent).cloned() else { return };
-        let Some(grandparent) = self.blocks.get(&parent.parent).cloned() else { return };
+        let Some(parent) = self.blocks.get(&p.parent).cloned() else {
+            return;
+        };
+        let Some(grandparent) = self.blocks.get(&parent.parent).cloned() else {
+            return;
+        };
         if !self.notarized.contains(&parent.id) || !self.notarized.contains(&grandparent.id) {
             return;
         }
@@ -147,7 +153,9 @@ impl ConsensusEngine for StreamletEngine {
                 self.blocks.insert(p.id, p.clone());
                 fx.event(CEvent::VerifyProposal { proposal: p });
             }
-            ConsensusMsg::Prepare { view, block, voter, .. } => {
+            ConsensusMsg::Prepare {
+                view, block, voter, ..
+            } => {
                 self.record_vote(view, block, voter, &mut fx);
             }
             _ => {}
@@ -203,12 +211,15 @@ impl ConsensusEngine for StreamletEngine {
         verdict: ProposalVerdict,
     ) -> CEffects {
         let mut fx = CEffects::none();
-        let Some(p) = self.blocks.get(&block).cloned() else { return fx };
+        let Some(p) = self.blocks.get(&block).cloned() else {
+            return fx;
+        };
         match verdict {
             ProposalVerdict::Accept => {
                 // Streamlet votes only for proposals extending the longest
                 // notarized chain.
-                if p.parent == self.longest_notarized_tip || p.height > self.longest_notarized_height
+                if p.parent == self.longest_notarized_tip
+                    || p.height > self.longest_notarized_height
                 {
                     fx.broadcast(ConsensusMsg::Prepare {
                         view: p.view,
@@ -247,7 +258,11 @@ mod tests {
 
     fn net(n: usize) -> EngineNet<StreamletEngine> {
         let config = SystemConfig::new(n);
-        EngineNet::new((0..n as u32).map(|i| StreamletEngine::new(&config, ReplicaId(i))).collect())
+        EngineNet::new(
+            (0..n as u32)
+                .map(|i| StreamletEngine::new(&config, ReplicaId(i)))
+                .collect(),
+        )
     }
 
     #[test]
@@ -260,8 +275,16 @@ mod tests {
             net.fire_view_timers();
         }
         drive_until_quiet(&mut net, 20);
-        let committed = net.engines().iter().map(|e| e.committed_count()).max().unwrap();
-        assert!(committed >= 1, "three consecutive notarized epochs should finalize, got {committed}");
+        let committed = net
+            .engines()
+            .iter()
+            .map(|e| e.committed_count())
+            .max()
+            .unwrap();
+        assert!(
+            committed >= 1,
+            "three consecutive notarized epochs should finalize, got {committed}"
+        );
         // Prefix agreement.
         let chains = net.committed_chains();
         let shortest = chains.iter().map(|c| c.len()).min().unwrap();

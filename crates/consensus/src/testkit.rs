@@ -80,7 +80,9 @@ impl<E: ConsensusEngine> EngineNet<E> {
     pub fn run(&mut self, budget: usize) -> usize {
         let mut delivered = 0;
         while delivered < budget {
-            let Some((from, to, msg)) = self.queue.pop_front() else { break };
+            let Some((from, to, msg)) = self.queue.pop_front() else {
+                break;
+            };
             delivered += 1;
             self.now += 100;
             if self.silenced[to] || self.silenced[from] {
@@ -100,7 +102,8 @@ impl<E: ConsensusEngine> EngineNet<E> {
                 CDest::One(r) => {
                     if r.index() == idx {
                         // Loopback: deliver immediately.
-                        let fx2 = self.engines[idx].on_message(self.now, ReplicaId(idx as u32), msg);
+                        let fx2 =
+                            self.engines[idx].on_message(self.now, ReplicaId(idx as u32), msg);
                         follow_ups.push(fx2);
                     } else {
                         self.queue.push_back((idx, r.index(), msg));
@@ -163,8 +166,9 @@ mod tests {
     #[test]
     fn testkit_routes_messages_and_collects_commits() {
         let config = SystemConfig::new(4);
-        let engines =
-            (0..4u32).map(|i| HotStuffEngine::new(&config, ReplicaId(i))).collect();
+        let engines = (0..4u32)
+            .map(|i| HotStuffEngine::new(&config, ReplicaId(i)))
+            .collect();
         let mut net: EngineNet<HotStuffEngine> = EngineNet::new(engines);
         net.start();
         drive_until_quiet(&mut net, 20);

@@ -46,7 +46,10 @@ impl DlbConfig {
     /// A disabled load balancer (used by the `S-HS-Even` configuration and
     /// in ablations).
     pub fn disabled() -> Self {
-        DlbConfig { enabled: false, ..DlbConfig::default() }
+        DlbConfig {
+            enabled: false,
+            ..DlbConfig::default()
+        }
     }
 
     /// Sets the power-of-d-choices sample size.

@@ -128,7 +128,12 @@ impl LoadBalancer {
         self.next_token += 1;
         self.samples.insert(
             token,
-            SampleRound { mb, targets: candidates.clone(), replies: HashMap::new(), decided: false },
+            SampleRound {
+                mb,
+                targets: candidates.clone(),
+                replies: HashMap::new(),
+                decided: false,
+            },
         );
         Some((token, candidates))
     }
@@ -179,10 +184,20 @@ impl LoadBalancer {
                 self.banlist.insert(proxy);
                 let token = self.next_token;
                 self.next_token += 1;
-                self.forwards.insert(token, PendingForward { mb: round.mb.clone(), proxy });
+                self.forwards.insert(
+                    token,
+                    PendingForward {
+                        mb: round.mb.clone(),
+                        proxy,
+                    },
+                );
                 self.forwarded_by_id.insert(round.mb.id, token);
                 self.forwarded_total += 1;
-                Some(ForwardDecision::Forward { proxy, mb: round.mb, token })
+                Some(ForwardDecision::Forward {
+                    proxy,
+                    mb: round.mb,
+                    token,
+                })
             }
             None => Some(ForwardDecision::SelfBroadcast { mb: round.mb }),
         }

@@ -10,8 +10,8 @@ use crate::messages::StratusMsg;
 use crate::pab::PabEngine;
 use rand::rngs::SmallRng;
 use smp_mempool::{
-    Effects, FetchRetryState, FillStatus, Mempool, MempoolEvent, MempoolStats, TimerTag, TxBatcher,
-    MicroblockStore, ProposalQueue, FillTracker, BATCH_TIMEOUT_TAG,
+    Effects, FetchRetryState, FillStatus, FillTracker, Mempool, MempoolEvent, MempoolStats,
+    MicroblockStore, ProposalQueue, TimerTag, TxBatcher, BATCH_TIMEOUT_TAG,
 };
 use smp_types::{
     Microblock, MicroblockId, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig,
@@ -185,8 +185,12 @@ impl StratusMempool {
         if !self.store.contains(&id) {
             let targets = self.pab.fetch_targets(&proof, &[], rng);
             if !targets.is_empty() {
-                let candidates: Vec<ReplicaId> =
-                    proof.signers().into_iter().map(ReplicaId).filter(|r| *r != self.me).collect();
+                let candidates: Vec<ReplicaId> = proof
+                    .signers()
+                    .into_iter()
+                    .map(ReplicaId)
+                    .filter(|r| *r != self.me)
+                    .collect();
                 let action = self.fetcher.register(vec![id], candidates);
                 effects.multicast(targets, StratusMsg::PabRequest { ids: vec![id] });
                 effects.timer(self.config.fetch_timeout, action.tag);
@@ -237,7 +241,6 @@ impl StratusMempool {
             }
         }
     }
-
 }
 
 impl Mempool for StratusMempool {
@@ -275,7 +278,13 @@ impl Mempool for StratusMempool {
                 let id = mb.id;
                 let newly = self.store.insert(mb);
                 // Acknowledge to the disseminator (push phase, Algorithm 1).
-                effects.send(from, StratusMsg::PabAck { id, sig: self.pab.ack_for(&id) });
+                effects.send(
+                    from,
+                    StratusMsg::PabAck {
+                        id,
+                        sig: self.pab.ack_for(&id),
+                    },
+                );
                 if newly {
                     for ev in self.tracker.on_microblock(id, &self.store, now) {
                         effects.event(ev);
@@ -294,7 +303,13 @@ impl Mempool for StratusMempool {
                         // Proxy: hand the proof back to the original sender,
                         // which takes over the recovery phase (Algorithm 4).
                         Some(origin) if origin != self.me => {
-                            effects.send(origin, StratusMsg::PabProof { id, proof: ready.proof });
+                            effects.send(
+                                origin,
+                                StratusMsg::PabProof {
+                                    id,
+                                    proof: ready.proof,
+                                },
+                            );
                         }
                         // Normal case: broadcast the proof and adopt it.
                         _ => {
@@ -314,13 +329,18 @@ impl Mempool for StratusMempool {
                 if self.lb.on_proof_received(&id).is_some() {
                     // We are the original sender of a forwarded microblock:
                     // the proxy finished the push phase; take over recovery.
-                    effects.broadcast(StratusMsg::PabProof { id, proof: proof.clone() });
+                    effects.broadcast(StratusMsg::PabProof {
+                        id,
+                        proof: proof.clone(),
+                    });
                 }
                 self.adopt_proof(now, id, proof, rng, &mut effects);
             }
             StratusMsg::PabRequest { ids } => {
-                let mbs: Vec<Microblock> =
-                    ids.iter().filter_map(|id| self.store.get(id).cloned()).collect();
+                let mbs: Vec<Microblock> = ids
+                    .iter()
+                    .filter_map(|id| self.store.get(id).cloned())
+                    .collect();
                 if !mbs.is_empty() {
                     effects.send(from, StratusMsg::PabResponse { mbs });
                 }
@@ -339,10 +359,16 @@ impl Mempool for StratusMempool {
             StratusMsg::LbQuery { token } => {
                 effects.send(
                     from,
-                    StratusMsg::LbInfo { token, stable_time_us: self.estimator.load_status() },
+                    StratusMsg::LbInfo {
+                        token,
+                        stable_time_us: self.estimator.load_status(),
+                    },
                 );
             }
-            StratusMsg::LbInfo { token, stable_time_us } => {
+            StratusMsg::LbInfo {
+                token,
+                stable_time_us,
+            } => {
                 if let Some(decision) = self.lb.on_load_info(token, from, stable_time_us) {
                     self.handle_forward_decision(now, decision, &mut effects);
                 }
@@ -393,7 +419,9 @@ impl Mempool for StratusMempool {
         let mut refs = Vec::new();
         let mut skipped = Vec::new();
         while refs.len() < self.max_refs {
-            let Some(id) = self.ava_queue.pop() else { break };
+            let Some(id) = self.ava_queue.pop() else {
+                break;
+            };
             let Some(proof) = self.pab.proof_of(&id).cloned() else {
                 skipped.push(id);
                 continue;
@@ -404,7 +432,12 @@ impl Mempool for StratusMempool {
                 skipped.push(id);
                 continue;
             };
-            refs.push(MicroblockRef::proven(id, mb.creator, mb.len() as u32, proof));
+            refs.push(MicroblockRef::proven(
+                id,
+                mb.creator,
+                mb.len() as u32,
+                proof,
+            ));
         }
         for id in skipped {
             self.ava_queue.push(id);
@@ -425,13 +458,25 @@ impl Mempool for StratusMempool {
         let mut effects = Effects::none();
         let refs = match &proposal.payload {
             Payload::Refs(refs) => refs,
+            // Per-shard groups are split off by the sharded wrapper before
+            // a backend sees them; a whole sharded payload reaching an
+            // unsharded backend must not bypass reference verification.
+            Payload::Sharded(_) => {
+                return (
+                    FillStatus::Invalid("sharded payload reached an unsharded mempool"),
+                    effects,
+                )
+            }
             _ => return (FillStatus::Ready, effects),
         };
         // Every reference must carry a valid availability proof, otherwise
         // the proposal triggers a view change (Algorithm 3, lines 22-25).
         for r in refs {
             let Some(proof) = &r.proof else {
-                return (FillStatus::Invalid("reference without availability proof"), effects);
+                return (
+                    FillStatus::Invalid("reference without availability proof"),
+                    effects,
+                );
             };
             if self.pab.verify_proof(&r.id, proof).is_err() {
                 return (FillStatus::Invalid("invalid availability proof"), effects);
@@ -450,7 +495,8 @@ impl Mempool for StratusMempool {
         if !missing.is_empty() {
             // Consensus is NOT blocked: the proofs guarantee the data can be
             // recovered in the background (PAB-Provable Availability).
-            self.tracker.track(proposal, missing.iter().map(|r| r.id).collect(), false);
+            self.tracker
+                .track(proposal, missing.iter().map(|r| r.id).collect(), false);
             for r in &missing {
                 let proof = r.proof.as_ref().expect("verified above");
                 let targets = self.pab.fetch_targets(proof, &[], rng);
@@ -464,11 +510,17 @@ impl Mempool for StratusMempool {
                     continue;
                 }
                 let action = self.fetcher.register(vec![r.id], candidates);
-                let request_targets = if targets.is_empty() { vec![action.target] } else { targets };
+                let request_targets = if targets.is_empty() {
+                    vec![action.target]
+                } else {
+                    targets
+                };
                 effects.multicast(request_targets, StratusMsg::PabRequest { ids: vec![r.id] });
                 effects.timer(self.config.fetch_timeout, action.tag);
             }
-            effects.event(MempoolEvent::FetchIssued { count: missing.len() as u32 });
+            effects.event(MempoolEvent::FetchIssued {
+                count: missing.len() as u32,
+            });
         }
         let _ = now;
         (FillStatus::Ready, effects)

@@ -100,7 +100,9 @@ mod tests {
     use smp_types::{ClientId, ReplicaId, Transaction};
 
     fn mb(n: usize) -> Microblock {
-        let txs = (0..n).map(|i| Transaction::synthetic(ClientId(1), i as u64, 128, 0)).collect();
+        let txs = (0..n)
+            .map(|i| Transaction::synthetic(ClientId(1), i as u64, 128, 0))
+            .collect();
         Microblock::seal(ReplicaId(0), txs, 0)
     }
 
@@ -109,8 +111,11 @@ mod tests {
         assert!(StratusMsg::PabMsg(mb(4)).is_bulk_data());
         assert!(StratusMsg::LbForward(mb(4)).is_bulk_data());
         assert!(!StratusMsg::LbQuery { token: 1 }.is_bulk_data());
-        assert!(!StratusMsg::PabProof { id: mb(1).id, proof: QuorumProof::new(mb(1).id.digest()) }
-            .is_bulk_data());
+        assert!(!StratusMsg::PabProof {
+            id: mb(1).id,
+            proof: QuorumProof::new(mb(1).id.digest())
+        }
+        .is_bulk_data());
     }
 
     #[test]
@@ -119,7 +124,14 @@ mod tests {
         let sig = Signature::sign(&kp.secret, &mb(1).id.digest());
         assert!(StratusMsg::PabAck { id: mb(1).id, sig }.wire_size() <= 128);
         assert!(StratusMsg::LbQuery { token: 9 }.wire_size() <= 64);
-        assert!(StratusMsg::LbInfo { token: 9, stable_time_us: Some(10) }.wire_size() <= 64);
+        assert!(
+            StratusMsg::LbInfo {
+                token: 9,
+                stable_time_us: Some(10)
+            }
+            .wire_size()
+                <= 64
+        );
     }
 
     #[test]

@@ -58,13 +58,7 @@ pub struct ProofReady {
 impl PabEngine {
     /// Creates the engine for replica `me` with availability quorum
     /// `quorum` and fetch sampling probability `fetch_alpha`.
-    pub fn new(
-        seed: u64,
-        n: usize,
-        me: ReplicaId,
-        quorum: usize,
-        fetch_alpha: f64,
-    ) -> Self {
+    pub fn new(seed: u64, n: usize, me: ReplicaId, quorum: usize, fetch_alpha: f64) -> Self {
         let keypairs = KeyPair::derive_all(seed, n);
         PabEngine {
             me,
@@ -90,7 +84,12 @@ impl PabEngine {
         acks.add(Signature::sign(&self.my_key.secret, &mb.id.digest()));
         self.push.insert(
             mb.id,
-            PushState { acks, proof_done: false, broadcast_at: now, origin },
+            PushState {
+                acks,
+                proof_done: false,
+                broadcast_at: now,
+                origin,
+            },
         );
     }
 
@@ -174,8 +173,11 @@ impl PabEngine {
         if candidates.is_empty() {
             return Vec::new();
         }
-        let mut targets: Vec<ReplicaId> =
-            candidates.iter().copied().filter(|_| rng.gen::<f64>() < self.fetch_alpha).collect();
+        let mut targets: Vec<ReplicaId> = candidates
+            .iter()
+            .copied()
+            .filter(|_| rng.gen::<f64>() < self.fetch_alpha)
+            .collect();
         if targets.is_empty() {
             let pick = candidates[rng.gen_range(0..candidates.len())];
             targets.push(pick);
@@ -193,12 +195,16 @@ mod tests {
     const SEED: u64 = 0xA11CE;
 
     fn make_mb(creator: u32, n: usize) -> Microblock {
-        let txs = (0..n).map(|i| Transaction::synthetic(ClientId(creator), i as u64, 128, 0)).collect();
+        let txs = (0..n)
+            .map(|i| Transaction::synthetic(ClientId(creator), i as u64, 128, 0))
+            .collect();
         Microblock::seal(ReplicaId(creator), txs, 0)
     }
 
     fn engines(n: usize, quorum: usize) -> Vec<PabEngine> {
-        (0..n as u32).map(|i| PabEngine::new(SEED, n, ReplicaId(i), quorum, 0.5)).collect()
+        (0..n as u32)
+            .map(|i| PabEngine::new(SEED, n, ReplicaId(i), quorum, 0.5))
+            .collect()
     }
 
     #[test]
@@ -209,7 +215,9 @@ mod tests {
         assert!(engines[0].is_pushing(&mb.id));
         // One remote ack plus the sender's own signature reaches q = 2.
         let ack1 = engines[1].ack_for(&mb.id);
-        let ready = engines[0].on_ack(mb.id, ack1, 5_000).expect("quorum reached");
+        let ready = engines[0]
+            .on_ack(mb.id, ack1, 5_000)
+            .expect("quorum reached");
         assert_eq!(ready.stable_time, 4_000);
         assert_eq!(ready.proof.len(), 2);
         assert!(ready.origin.is_none());
@@ -226,7 +234,9 @@ mod tests {
         let a1 = engines[1].ack_for(&mb.id);
         let a2 = engines[2].ack_for(&mb.id);
         engines[0].on_ack(mb.id, a1, 10);
-        let ready = engines[0].on_ack(mb.id, a2, 20).expect("quorum of 3 reached");
+        let ready = engines[0]
+            .on_ack(mb.id, a2, 20)
+            .expect("quorum of 3 reached");
         for e in &engines {
             assert!(e.verify_proof(&mb.id, &ready.proof).is_ok());
         }
@@ -262,7 +272,10 @@ mod tests {
         engines[0].start_push(&mb, 0, None);
         let ack1 = engines[1].ack_for(&mb.id);
         assert!(engines[0].on_ack(mb.id, ack1, 1).is_none());
-        assert!(engines[0].on_ack(mb.id, ack1, 2).is_none(), "same signer replayed");
+        assert!(
+            engines[0].on_ack(mb.id, ack1, 2).is_none(),
+            "same signer replayed"
+        );
         let ack2 = engines[2].ack_for(&mb.id);
         assert!(engines[0].on_ack(mb.id, ack2, 3).is_some());
     }

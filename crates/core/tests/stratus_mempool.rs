@@ -2,6 +2,10 @@
 //! messages through a tiny in-test router, checking the PAB and DLB flows
 //! end to end (without the network simulator).
 
+// The message-routing loops below use the index both to address the node
+// array and as the replica identity.
+#![allow(clippy::needless_range_loop)]
+
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use smp_mempool::{Dest, Effects, FillStatus, Mempool, MempoolEvent};
@@ -21,13 +25,16 @@ fn system() -> SystemConfig {
 
 fn network(config: StratusConfig) -> (Vec<StratusMempool>, SmallRng) {
     let sys = system();
-    let nodes =
-        (0..N as u32).map(|i| StratusMempool::new(&sys, config, ReplicaId(i))).collect();
+    let nodes = (0..N as u32)
+        .map(|i| StratusMempool::new(&sys, config, ReplicaId(i)))
+        .collect();
     (nodes, SmallRng::seed_from_u64(99))
 }
 
 fn txs(base: u64, n: usize) -> Vec<Transaction> {
-    (0..n).map(|i| Transaction::synthetic(ClientId(0), base + i as u64, 128, 0)).collect()
+    (0..n)
+        .map(|i| Transaction::synthetic(ClientId(0), base + i as u64, 128, 0))
+        .collect()
 }
 
 /// Routes every message in `effects` to its destination node, collecting
@@ -42,25 +49,26 @@ fn route(
 ) -> Vec<(usize, MempoolEvent)> {
     let mut events = Vec::new();
     let mut queue: Vec<(usize, usize, StratusMsg)> = Vec::new();
-    let mut push = |queue: &mut Vec<(usize, usize, StratusMsg)>, from: usize, fx: &Effects<StratusMsg>| {
-        for (dest, msg) in &fx.msgs {
-            match dest {
-                Dest::One(r) => queue.push((from, r.index(), msg.clone())),
-                Dest::AllButSelf => {
-                    for i in 0..N {
-                        if i != from {
-                            queue.push((from, i, msg.clone()));
+    let push =
+        |queue: &mut Vec<(usize, usize, StratusMsg)>, from: usize, fx: &Effects<StratusMsg>| {
+            for (dest, msg) in &fx.msgs {
+                match dest {
+                    Dest::One(r) => queue.push((from, r.index(), msg.clone())),
+                    Dest::AllButSelf => {
+                        for i in 0..N {
+                            if i != from {
+                                queue.push((from, i, msg.clone()));
+                            }
+                        }
+                    }
+                    Dest::Many(rs) => {
+                        for r in rs {
+                            queue.push((from, r.index(), msg.clone()));
                         }
                     }
                 }
-                Dest::Many(rs) => {
-                    for r in rs {
-                        queue.push((from, r.index(), msg.clone()));
-                    }
-                }
             }
-        }
-    };
+        };
     for (i, ev) in effects.events.iter().enumerate() {
         let _ = i;
         events.push((from, ev.clone()));
@@ -80,7 +88,10 @@ fn route(
 fn pab_push_phase_makes_microblock_proposable_everywhere() {
     let (mut nodes, mut rng) = network(StratusConfig::default());
     let fx = nodes[0].on_client_txs(0, txs(0, 4), &mut rng);
-    assert!(fx.msgs.iter().any(|(_, m)| matches!(m, StratusMsg::PabMsg(_))));
+    assert!(fx
+        .msgs
+        .iter()
+        .any(|(_, m)| matches!(m, StratusMsg::PabMsg(_))));
     let events = route(&mut nodes, 0, fx, 10, &mut rng);
     // The creator observed stability.
     assert!(events
@@ -89,7 +100,11 @@ fn pab_push_phase_makes_microblock_proposable_everywhere() {
     // After proof broadcast, every replica can propose the microblock.
     for i in 0..N {
         let payload = nodes[i].make_payload(100);
-        assert_eq!(payload.ref_count(), 1, "replica {i} should hold one proposable ref");
+        assert_eq!(
+            payload.ref_count(),
+            1,
+            "replica {i} should hold one proposable ref"
+        );
         match payload {
             Payload::Refs(refs) => assert!(refs[0].proof.is_some()),
             other => panic!("unexpected payload {other:?}"),
@@ -110,12 +125,21 @@ fn proposal_with_valid_proofs_is_ready_even_if_data_missing() {
     let sys = system();
     let mut fresh = StratusMempool::new(&sys, StratusConfig::default(), ReplicaId(3));
     let (status, fx) = fresh.on_proposal(60, &proposal, &mut rng);
-    assert_eq!(status, FillStatus::Ready, "Stratus never blocks consensus on missing data");
+    assert_eq!(
+        status,
+        FillStatus::Ready,
+        "Stratus never blocks consensus on missing data"
+    );
     assert!(
-        fx.msgs.iter().any(|(_, m)| matches!(m, StratusMsg::PabRequest { .. })),
+        fx.msgs
+            .iter()
+            .any(|(_, m)| matches!(m, StratusMsg::PabRequest { .. })),
         "missing data is fetched in the background"
     );
-    assert!(fx.events.iter().any(|e| matches!(e, MempoolEvent::FetchIssued { .. })));
+    assert!(fx
+        .events
+        .iter()
+        .any(|e| matches!(e, MempoolEvent::FetchIssued { .. })));
 }
 
 #[test]
@@ -150,9 +174,11 @@ fn committed_proposals_execute_with_latencies() {
         .events
         .iter()
         .find_map(|e| match e {
-            MempoolEvent::Executed { tx_count, receive_times, .. } => {
-                Some((*tx_count, receive_times.clone()))
-            }
+            MempoolEvent::Executed {
+                tx_count,
+                receive_times,
+                ..
+            } => Some((*tx_count, receive_times.clone())),
             _ => None,
         })
         .expect("commit executes");
@@ -183,7 +209,12 @@ fn busy_replica_forwards_load_to_proxy_and_proxy_disseminates() {
     // Disable the limiter so the forwarding path is exercised in isolation,
     // and make the estimator tiny so it is easy to drive into the busy state.
     let cfg = StratusConfig {
-        dlb: DlbConfig { estimator_window: 4, busy_factor: 2.0, d: 2, ..DlbConfig::default() },
+        dlb: DlbConfig {
+            estimator_window: 4,
+            busy_factor: 2.0,
+            d: 2,
+            ..DlbConfig::default()
+        },
         data_bandwidth_share: None,
         ..StratusConfig::default()
     };
@@ -195,42 +226,63 @@ fn busy_replica_forwards_load_to_proxy_and_proxy_disseminates() {
         let fx = nodes[0].on_client_txs(round * 1_000_000, txs(round * 100, 4), &mut rng);
         // Deliver PabMsg manually and return only one ack, late, so the
         // stable time grows round after round.
-        let mb = fx
-            .msgs
-            .iter()
-            .find_map(|(_, m)| match m {
-                StratusMsg::PabMsg(mb) => Some(mb.clone()),
-                _ => None,
-            });
+        let mb = fx.msgs.iter().find_map(|(_, m)| match m {
+            StratusMsg::PabMsg(mb) => Some(mb.clone()),
+            _ => None,
+        });
         let Some(mb) = mb else { continue };
         let delay = if round < 3 { 10_000 } else { 80_000 };
-        let ack_fx =
-            nodes[1].on_message(round * 1_000_000 + delay, ReplicaId(0), StratusMsg::PabMsg(mb), &mut rng);
+        let ack_fx = nodes[1].on_message(
+            round * 1_000_000 + delay,
+            ReplicaId(0),
+            StratusMsg::PabMsg(mb),
+            &mut rng,
+        );
         // Route the ack back to node 0 at the delayed time.
         for (_, m) in ack_fx.msgs {
             let _ = nodes[0].on_message(round * 1_000_000 + delay, ReplicaId(1), m, &mut rng);
         }
     }
-    assert!(nodes[0].estimator().is_busy(), "estimator should report busy after ST inflation");
+    assert!(
+        nodes[0].estimator().is_busy(),
+        "estimator should report busy after ST inflation"
+    );
 
     // The next sealed microblock is load-balanced instead of broadcast.
     let fx = nodes[0].on_client_txs(10_000_000, txs(10_000, 4), &mut rng);
     assert!(
-        fx.msgs.iter().any(|(_, m)| matches!(m, StratusMsg::LbQuery { .. })),
+        fx.msgs
+            .iter()
+            .any(|(_, m)| matches!(m, StratusMsg::LbQuery { .. })),
         "busy replica samples proxies instead of broadcasting"
     );
-    assert!(!fx.msgs.iter().any(|(_, m)| matches!(m, StratusMsg::PabMsg(_))));
+    assert!(!fx
+        .msgs
+        .iter()
+        .any(|(_, m)| matches!(m, StratusMsg::PabMsg(_))));
 
     // Route the whole exchange: queries -> infos -> forward -> proxy PAB.
     let events = route(&mut nodes, 0, fx, 10_000_100, &mut rng);
-    assert!(nodes[0].load_balancer().forwarded_total() >= 1, "microblock was forwarded");
-    let proxied: u64 = nodes.iter().map(|n| n.load_balancer().proxied_total()).sum();
-    assert_eq!(proxied, 1, "exactly one proxy disseminated on behalf of the busy sender");
+    assert!(
+        nodes[0].load_balancer().forwarded_total() >= 1,
+        "microblock was forwarded"
+    );
+    let proxied: u64 = nodes
+        .iter()
+        .map(|n| n.load_balancer().proxied_total())
+        .sum();
+    assert_eq!(
+        proxied, 1,
+        "exactly one proxy disseminated on behalf of the busy sender"
+    );
     // The proxy's dissemination still leads to stability.
-    assert!(events.iter().any(|(_, e)| matches!(e, MempoolEvent::MicroblockStable { .. })));
+    assert!(events
+        .iter()
+        .any(|(_, e)| matches!(e, MempoolEvent::MicroblockStable { .. })));
     // And the microblock ends up proposable at the non-busy replicas.
-    let proposable: usize =
-        (0..N).map(|i| nodes[i].make_payload(20_000_000).ref_count()).sum();
+    let proposable: usize = (0..N)
+        .map(|i| nodes[i].make_payload(20_000_000).ref_count())
+        .sum();
     assert!(proposable >= 1);
 }
 
@@ -243,22 +295,46 @@ fn limiter_defers_bulk_broadcasts_under_a_tight_budget() {
             one_way_delay_us: 1000,
             jitter_us: 0,
         })
-        .with_mempool(MempoolConfig { batch_size_bytes: 168 * 4, ..MempoolConfig::default() });
-    let cfg = StratusConfig { data_bandwidth_share: Some(0.1), ..StratusConfig::default() };
+        .with_mempool(MempoolConfig {
+            batch_size_bytes: 168 * 4,
+            ..MempoolConfig::default()
+        });
+    let cfg = StratusConfig {
+        data_bandwidth_share: Some(0.1),
+        ..StratusConfig::default()
+    };
     let mut node = StratusMempool::new(&sys, cfg, ReplicaId(0));
     let mut rng = SmallRng::seed_from_u64(5);
     let fx1 = node.on_client_txs(0, txs(0, 4), &mut rng);
-    let first_broadcasts =
-        fx1.msgs.iter().filter(|(_, m)| matches!(m, StratusMsg::PabMsg(_))).count();
+    let first_broadcasts = fx1
+        .msgs
+        .iter()
+        .filter(|(_, m)| matches!(m, StratusMsg::PabMsg(_)))
+        .count();
     let fx2 = node.on_client_txs(10, txs(100, 4), &mut rng);
-    let second_broadcasts =
-        fx2.msgs.iter().filter(|(_, m)| matches!(m, StratusMsg::PabMsg(_))).count();
-    assert_eq!(first_broadcasts, 1, "first microblock fits the burst budget");
-    assert_eq!(second_broadcasts, 0, "second microblock is deferred by the limiter");
-    assert!(fx2.timers.iter().any(|(_, tag)| *tag == stratus::mempool::LIMITER_TAG));
+    let second_broadcasts = fx2
+        .msgs
+        .iter()
+        .filter(|(_, m)| matches!(m, StratusMsg::PabMsg(_)))
+        .count();
+    assert_eq!(
+        first_broadcasts, 1,
+        "first microblock fits the burst budget"
+    );
+    assert_eq!(
+        second_broadcasts, 0,
+        "second microblock is deferred by the limiter"
+    );
+    assert!(fx2
+        .timers
+        .iter()
+        .any(|(_, tag)| *tag == stratus::mempool::LIMITER_TAG));
     // After enough simulated time the deferred microblock is released.
     let fx3 = node.on_timer(5_000_000, stratus::mempool::LIMITER_TAG, &mut rng);
-    assert!(fx3.msgs.iter().any(|(_, m)| matches!(m, StratusMsg::PabMsg(_))));
+    assert!(fx3
+        .msgs
+        .iter()
+        .any(|(_, m)| matches!(m, StratusMsg::PabMsg(_))));
 }
 
 #[test]

@@ -102,7 +102,10 @@ fn mix(mut x: u64) -> u64 {
 impl Hasher {
     /// Creates a hasher with the default seed.
     pub fn new() -> Self {
-        Hasher { state: SEEDS, len: 0 }
+        Hasher {
+            state: SEEDS,
+            len: 0,
+        }
     }
 
     /// Creates a hasher whose output is domain-separated by `domain`.

@@ -46,14 +46,22 @@ impl KeyPair {
         h.update_u64(system_seed);
         h.update_u64(index as u64);
         let secret_digest = h.finalize();
-        let secret = SecretKey { owner: index, key: secret_digest.0[0] ^ secret_digest.0[2] };
-        let public = PublicKey { owner: index, commitment: Digest::of_u64(secret.key) };
+        let secret = SecretKey {
+            owner: index,
+            key: secret_digest.0[0] ^ secret_digest.0[2],
+        };
+        let public = PublicKey {
+            owner: index,
+            commitment: Digest::of_u64(secret.key),
+        };
         KeyPair { public, secret }
     }
 
     /// Derives the full key set for a system of `n` replicas.
     pub fn derive_all(system_seed: u64, n: usize) -> Vec<KeyPair> {
-        (0..n as u32).map(|i| KeyPair::derive(system_seed, i)).collect()
+        (0..n as u32)
+            .map(|i| KeyPair::derive(system_seed, i))
+            .collect()
     }
 }
 
@@ -92,7 +100,10 @@ mod tests {
 
     #[test]
     fn different_seeds_get_different_keys() {
-        assert_ne!(KeyPair::derive(1, 0).secret.key, KeyPair::derive(2, 0).secret.key);
+        assert_ne!(
+            KeyPair::derive(1, 0).secret.key,
+            KeyPair::derive(2, 0).secret.key
+        );
     }
 
     #[test]

@@ -63,7 +63,10 @@ pub struct QuorumProof {
 impl QuorumProof {
     /// Creates an empty proof for `digest`.
     pub fn new(digest: Digest) -> Self {
-        QuorumProof { digest, signatures: Vec::new() }
+        QuorumProof {
+            digest,
+            signatures: Vec::new(),
+        }
     }
 
     /// Builds a proof directly from a set of signatures (deduplicating by
@@ -112,7 +115,10 @@ impl QuorumProof {
     /// from known replicas over `self.digest`.
     pub fn verify(&self, public_keys: &[PublicKey], quorum: usize) -> Result<(), ProofError> {
         if self.signatures.len() < quorum {
-            return Err(ProofError::QuorumNotReached { have: self.signatures.len(), need: quorum });
+            return Err(ProofError::QuorumNotReached {
+                have: self.signatures.len(),
+                need: quorum,
+            });
         }
         let mut seen = BTreeSet::new();
         for sig in &self.signatures {
@@ -149,7 +155,9 @@ mod tests {
     fn proof_from(kps: &[KeyPair], digest: Digest, signers: &[usize]) -> QuorumProof {
         QuorumProof::from_signatures(
             digest,
-            signers.iter().map(|&i| Signature::sign(&kps[i].secret, &digest)),
+            signers
+                .iter()
+                .map(|&i| Signature::sign(&kps[i].secret, &digest)),
         )
     }
 

@@ -30,7 +30,10 @@ impl Signature {
         // key, which is exactly what verifiers can recompute from the
         // public key (see `key_from_commitment`).
         let key_material = Digest::of_u64(secret.key).0[0];
-        Signature { signer: secret.owner, tag: Self::tag_for(secret.owner, key_material, digest) }
+        Signature {
+            signer: secret.owner,
+            tag: Self::tag_for(secret.owner, key_material, digest),
+        }
     }
 
     /// Verifies this signature against `public` and `digest`.
@@ -115,7 +118,10 @@ mod tests {
     fn signatures_differ_across_signers() {
         let ks = keys(4);
         let d = Digest::of_u64(5);
-        assert_ne!(Signature::sign(&ks[0].secret, &d).tag, Signature::sign(&ks[1].secret, &d).tag);
+        assert_ne!(
+            Signature::sign(&ks[0].secret, &d).tag,
+            Signature::sign(&ks[1].secret, &d).tag
+        );
     }
 
     #[test]

@@ -83,7 +83,11 @@ pub struct Effects<M> {
 impl<M> Effects<M> {
     /// No effects.
     pub fn none() -> Self {
-        Effects { msgs: Vec::new(), timers: Vec::new(), events: Vec::new() }
+        Effects {
+            msgs: Vec::new(),
+            timers: Vec::new(),
+            events: Vec::new(),
+        }
     }
 
     /// Queues a unicast message.

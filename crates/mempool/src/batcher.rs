@@ -34,7 +34,14 @@ pub struct BatchOutcome {
 impl TxBatcher {
     /// Creates a batcher for replica `me`.
     pub fn new(me: ReplicaId, config: MempoolConfig) -> Self {
-        TxBatcher { me, config, buffer: Vec::new(), buffer_bytes: 0, timer_armed: false, sealed_count: 0 }
+        TxBatcher {
+            me,
+            config,
+            buffer: Vec::new(),
+            buffer_bytes: 0,
+            timer_armed: false,
+            sealed_count: 0,
+        }
     }
 
     /// Ingests client transactions, stamping their reception time, and
@@ -94,11 +101,16 @@ mod tests {
     use smp_types::ClientId;
 
     fn cfg(batch_bytes: usize) -> MempoolConfig {
-        MempoolConfig { batch_size_bytes: batch_bytes, ..MempoolConfig::default() }
+        MempoolConfig {
+            batch_size_bytes: batch_bytes,
+            ..MempoolConfig::default()
+        }
     }
 
     fn txs(n: usize) -> Vec<Transaction> {
-        (0..n).map(|i| Transaction::synthetic(ClientId(9), i as u64, 128, 0)).collect()
+        (0..n)
+            .map(|i| Transaction::synthetic(ClientId(9), i as u64, 128, 0))
+            .collect()
     }
 
     #[test]

@@ -50,7 +50,12 @@ pub struct FetchAction {
 impl FetchRetryState {
     /// Creates an empty retry table with the given retry `timeout`.
     pub fn new(timeout: SimTime) -> Self {
-        FetchRetryState { entries: HashMap::new(), next_tag: FETCH_TAG_BASE, timeout, issued: 0 }
+        FetchRetryState {
+            entries: HashMap::new(),
+            next_tag: FETCH_TAG_BASE,
+            timeout,
+            issued: 0,
+        }
     }
 
     /// Number of fetch requests issued so far (including retries).
@@ -71,14 +76,25 @@ impl FetchRetryState {
     /// Registers a new fetch for `ids` with an ordered candidate target
     /// list, returning the action to perform immediately.
     pub fn register(&mut self, ids: Vec<MicroblockId>, candidates: Vec<ReplicaId>) -> FetchAction {
-        assert!(!candidates.is_empty(), "fetch needs at least one candidate target");
+        assert!(
+            !candidates.is_empty(),
+            "fetch needs at least one candidate target"
+        );
         let tag = self.next_tag;
         self.next_tag += 1;
-        let entry =
-            FetchEntry { ids: ids.clone(), candidates: candidates.clone(), next_candidate: 1, attempts: 1 };
+        let entry = FetchEntry {
+            ids: ids.clone(),
+            candidates: candidates.clone(),
+            next_candidate: 1,
+            attempts: 1,
+        };
         self.entries.insert(tag, entry);
         self.issued += 1;
-        FetchAction { target: candidates[0], ids, tag }
+        FetchAction {
+            target: candidates[0],
+            ids,
+            tag,
+        }
     }
 
     /// Handles a retry timer.  Returns the next action if some of the ids
@@ -95,7 +111,11 @@ impl FetchRetryState {
         entry.next_candidate += 1;
         entry.attempts += 1;
         self.issued += 1;
-        Some(FetchAction { target, ids: entry.ids.clone(), tag })
+        Some(FetchAction {
+            target,
+            ids: entry.ids.clone(),
+            tag,
+        })
     }
 
     /// Drops entries whose ids are all present in `store` (called after a

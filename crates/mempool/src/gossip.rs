@@ -151,11 +151,19 @@ impl Mempool for GossipSmp {
                 self.fetcher.prune(&self.store);
                 // Relay on first receipt.
                 self.relayed += 1;
-                self.gossip_out(mb, hops.saturating_sub(1), &[from, creator], rng, &mut effects);
+                self.gossip_out(
+                    mb,
+                    hops.saturating_sub(1),
+                    &[from, creator],
+                    rng,
+                    &mut effects,
+                );
             }
             SmpMsg::Fetch { ids } => {
-                let mbs: Vec<Microblock> =
-                    ids.iter().filter_map(|id| self.store.get(id).cloned()).collect();
+                let mbs: Vec<Microblock> = ids
+                    .iter()
+                    .filter_map(|id| self.store.get(id).cloned())
+                    .collect();
                 if !mbs.is_empty() {
                     effects.send(from, SmpMsg::FetchResp { mbs });
                 }
@@ -191,7 +199,13 @@ impl Mempool for GossipSmp {
                     .filter(|r| *r != self.me)
                     .take(self.fanout)
                     .collect();
-                effects.multicast(peers, SmpMsg::Gossip { mb, hops: MAX_HOPS - 1 });
+                effects.multicast(
+                    peers,
+                    SmpMsg::Gossip {
+                        mb,
+                        hops: MAX_HOPS - 1,
+                    },
+                );
             }
         } else if FetchRetryState::owns_tag(tag) {
             if let Some(action) = self.fetcher.on_timer(tag, &self.store) {
@@ -206,7 +220,9 @@ impl Mempool for GossipSmp {
         let mut refs = Vec::new();
         while refs.len() < self.max_refs {
             let Some(id) = self.queue.pop() else { break };
-            let Some(mb) = self.store.get(&id) else { continue };
+            let Some(mb) = self.store.get(&id) else {
+                continue;
+            };
             refs.push(MicroblockRef::unproven(id, mb.creator, mb.len() as u32));
         }
         if refs.is_empty() {
@@ -225,6 +241,15 @@ impl Mempool for GossipSmp {
         let mut effects = Effects::none();
         let refs = match &proposal.payload {
             Payload::Refs(refs) => refs,
+            // Per-shard groups are split off by the sharded wrapper before
+            // a backend sees them; a whole sharded payload reaching an
+            // unsharded backend must not bypass reference verification.
+            Payload::Sharded(_) => {
+                return (
+                    FillStatus::Invalid("sharded payload reached an unsharded mempool"),
+                    effects,
+                )
+            }
             _ => return (FillStatus::Ready, effects),
         };
         let mut missing = Vec::new();
@@ -247,7 +272,9 @@ impl Mempool for GossipSmp {
         let action = self.fetcher.register(missing.clone(), candidates);
         effects.send(action.target, SmpMsg::Fetch { ids: action.ids });
         effects.timer(self.fetcher.timeout, action.tag);
-        effects.event(MempoolEvent::FetchIssued { count: missing.len() as u32 });
+        effects.event(MempoolEvent::FetchIssued {
+            count: missing.len() as u32,
+        });
         (FillStatus::MustWait(missing), effects)
     }
 
@@ -290,7 +317,9 @@ mod tests {
     }
 
     fn txs(n: usize) -> Vec<Transaction> {
-        (0..n).map(|i| Transaction::synthetic(ClientId(3), i as u64, 128, 0)).collect()
+        (0..n)
+            .map(|i| Transaction::synthetic(ClientId(3), i as u64, 128, 0))
+            .collect()
     }
 
     fn rng() -> SmallRng {
@@ -320,9 +349,19 @@ mod tests {
             SmpMsg::Gossip { mb, .. } => mb.clone(),
             other => panic!("unexpected {other:?}"),
         };
-        let fx1 =
-            b.on_message(1, ReplicaId(0), SmpMsg::Gossip { mb: mb.clone(), hops: 8 }, &mut rng());
-        assert!(fx1.msgs.iter().any(|(_, m)| matches!(m, SmpMsg::Gossip { .. })));
+        let fx1 = b.on_message(
+            1,
+            ReplicaId(0),
+            SmpMsg::Gossip {
+                mb: mb.clone(),
+                hops: 8,
+            },
+            &mut rng(),
+        );
+        assert!(fx1
+            .msgs
+            .iter()
+            .any(|(_, m)| matches!(m, SmpMsg::Gossip { .. })));
         let fx2 = b.on_message(2, ReplicaId(0), SmpMsg::Gossip { mb, hops: 8 }, &mut rng());
         assert!(fx2.msgs.is_empty(), "duplicates are not relayed");
         assert_eq!(b.relayed(), 1);
@@ -333,8 +372,14 @@ mod tests {
         let mut a = GossipSmp::new(&config(8), ReplicaId(0));
         let mut b = GossipSmp::new(&config(8), ReplicaId(1));
         let _ = a.on_client_txs(0, txs(4), &mut rng());
-        let proposal =
-            Proposal::new(View(2), 1, BlockId::GENESIS, ReplicaId(5), a.make_payload(1), true);
+        let proposal = Proposal::new(
+            View(2),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(5),
+            a.make_payload(1),
+            true,
+        );
         let (status, fx) = b.on_proposal(5, &proposal, &mut rng());
         assert!(matches!(status, FillStatus::MustWait(_)));
         // First fetch target is the creator (replica 0), not the proposer.

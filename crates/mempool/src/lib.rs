@@ -23,8 +23,8 @@ pub mod batcher;
 pub mod fetcher;
 pub mod gossip;
 pub mod messages;
-pub mod native;
 pub mod narwhal;
+pub mod native;
 pub mod simple;
 pub mod store;
 
@@ -33,7 +33,7 @@ pub use batcher::{BatchOutcome, TxBatcher, BATCH_TIMEOUT_TAG};
 pub use fetcher::{FetchAction, FetchRetryState, FETCH_TAG_BASE};
 pub use gossip::GossipSmp;
 pub use messages::{NarwhalMsg, SmpMsg};
-pub use native::{NativeMempool, NativeMsg};
 pub use narwhal::NarwhalMempool;
+pub use native::{NativeMempool, NativeMsg};
 pub use simple::{SimpleSmp, DEFAULT_FETCH_TIMEOUT};
 pub use store::{FillTracker, MicroblockStore, ProposalQueue};

@@ -1,10 +1,8 @@
 //! Wire messages used by the baseline shared-mempool implementations.
 
-use smp_crypto::{QuorumProof, Signature};
-use smp_types::{
-    wire, Microblock, MicroblockId, ReplicaId, WireSize,
-};
 use serde::{Deserialize, Serialize};
+use smp_crypto::{QuorumProof, Signature};
+use smp_types::{wire, Microblock, MicroblockId, ReplicaId, WireSize};
 
 /// Messages exchanged by the best-effort and gossip shared mempools.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -129,7 +127,9 @@ mod tests {
     use smp_types::{ClientId, Transaction};
 
     fn mb(n: usize) -> Microblock {
-        let txs = (0..n).map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0)).collect();
+        let txs = (0..n)
+            .map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0))
+            .collect();
         Microblock::seal(ReplicaId(0), txs, 0)
     }
 
@@ -138,7 +138,9 @@ mod tests {
         let m = SmpMsg::Microblock(mb(10));
         assert_eq!(m.kind(), "microblock");
         assert!(m.wire_size() > 10 * 128);
-        let f = SmpMsg::Fetch { ids: vec![mb(1).id, mb(2).id] };
+        let f = SmpMsg::Fetch {
+            ids: vec![mb(1).id, mb(2).id],
+        };
         assert_eq!(f.kind(), "fetch-req");
         assert!(f.wire_size() < 200);
         let g = SmpMsg::Gossip { mb: mb(5), hops: 3 };

@@ -88,11 +88,15 @@ impl NarwhalMempool {
 
     fn disseminate(&mut self, mb: Microblock, effects: &mut Effects<NarwhalMsg>) {
         self.created += 1;
-        self.meta.insert(mb.id, (mb.creator, mb.len() as u32, mb.created_at));
+        self.meta
+            .insert(mb.id, (mb.creator, mb.len() as u32, mb.created_at));
         self.store.insert(mb.clone());
         // Creator's own echo counts toward the quorum.
         let own_echo = self.sign_for(&mb.id);
-        self.echoes.entry(mb.id).or_insert_with(|| QuorumProof::new(mb.id.digest())).add(own_echo);
+        self.echoes
+            .entry(mb.id)
+            .or_insert_with(|| QuorumProof::new(mb.id.digest()))
+            .add(own_echo);
         effects.broadcast(NarwhalMsg::Batch(mb));
     }
 
@@ -103,14 +107,23 @@ impl NarwhalMempool {
         sig: Signature,
         effects: &mut Effects<NarwhalMsg>,
     ) {
-        if !sig.verify(&self.keys[sig.signer as usize % self.keys.len()], &id.digest()) {
+        if !sig.verify(
+            &self.keys[sig.signer as usize % self.keys.len()],
+            &id.digest(),
+        ) {
             return;
         }
-        let proof = self.echoes.entry(id).or_insert_with(|| QuorumProof::new(id.digest()));
+        let proof = self
+            .echoes
+            .entry(id)
+            .or_insert_with(|| QuorumProof::new(id.digest()));
         proof.add(sig);
         if proof.has_quorum(self.rb_quorum) && self.ready_sent.insert(id) {
             let own_ready = self.sign_for(&id);
-            self.readies.entry(id).or_insert_with(|| QuorumProof::new(id.digest())).add(own_ready);
+            self.readies
+                .entry(id)
+                .or_insert_with(|| QuorumProof::new(id.digest()))
+                .add(own_ready);
             effects.broadcast(NarwhalMsg::Ready { id, sig: own_ready });
             self.maybe_certify(now, id, effects);
         }
@@ -123,10 +136,16 @@ impl NarwhalMempool {
         sig: Signature,
         effects: &mut Effects<NarwhalMsg>,
     ) {
-        if !sig.verify(&self.keys[sig.signer as usize % self.keys.len()], &id.digest()) {
+        if !sig.verify(
+            &self.keys[sig.signer as usize % self.keys.len()],
+            &id.digest(),
+        ) {
             return;
         }
-        self.readies.entry(id).or_insert_with(|| QuorumProof::new(id.digest())).add(sig);
+        self.readies
+            .entry(id)
+            .or_insert_with(|| QuorumProof::new(id.digest()))
+            .add(sig);
         self.maybe_certify(now, id, effects);
     }
 
@@ -134,7 +153,9 @@ impl NarwhalMempool {
         if self.certified.contains_key(&id) {
             return;
         }
-        let Some(readies) = self.readies.get(&id) else { return };
+        let Some(readies) = self.readies.get(&id) else {
+            return;
+        };
         if !readies.has_quorum(self.rb_quorum) {
             return;
         }
@@ -184,7 +205,8 @@ impl Mempool for NarwhalMempool {
         match msg {
             NarwhalMsg::Batch(mb) => {
                 let id = mb.id;
-                self.meta.insert(id, (mb.creator, mb.len() as u32, mb.created_at));
+                self.meta
+                    .insert(id, (mb.creator, mb.len() as u32, mb.created_at));
                 if self.store.insert(mb) {
                     // Echo the batch to everyone (the O(n²) step).
                     let sig = self.sign_for(&id);
@@ -204,7 +226,12 @@ impl Mempool for NarwhalMempool {
             }
             NarwhalMsg::Echo { id, sig } => self.record_echo(now, id, sig, &mut effects),
             NarwhalMsg::Ready { id, sig } => self.record_ready(now, id, sig, &mut effects),
-            NarwhalMsg::Certificate { id, creator, tx_count, proof } => {
+            NarwhalMsg::Certificate {
+                id,
+                creator,
+                tx_count,
+                proof,
+            } => {
                 if proof.verify(&self.keys, self.rb_quorum).is_ok() {
                     self.meta.entry(id).or_insert((creator, tx_count, now));
                     self.certified.entry(id).or_insert(proof);
@@ -214,8 +241,10 @@ impl Mempool for NarwhalMempool {
                 }
             }
             NarwhalMsg::Fetch { ids } => {
-                let mbs: Vec<Microblock> =
-                    ids.iter().filter_map(|id| self.store.get(id).cloned()).collect();
+                let mbs: Vec<Microblock> = ids
+                    .iter()
+                    .filter_map(|id| self.store.get(id).cloned())
+                    .collect();
                 if !mbs.is_empty() {
                     effects.send(from, NarwhalMsg::FetchResp { mbs });
                 }
@@ -236,7 +265,12 @@ impl Mempool for NarwhalMempool {
         effects
     }
 
-    fn on_timer(&mut self, now: SimTime, tag: TimerTag, _rng: &mut SmallRng) -> Effects<NarwhalMsg> {
+    fn on_timer(
+        &mut self,
+        now: SimTime,
+        tag: TimerTag,
+        _rng: &mut SmallRng,
+    ) -> Effects<NarwhalMsg> {
         let mut effects = Effects::none();
         if tag == BATCH_TIMEOUT_TAG {
             if let Some(mb) = self.batcher.on_timeout(now) {
@@ -255,9 +289,18 @@ impl Mempool for NarwhalMempool {
         let mut refs = Vec::new();
         while refs.len() < self.max_refs {
             let Some(id) = self.queue.pop() else { break };
-            let Some(proof) = self.certified.get(&id) else { continue };
-            let Some((creator, tx_count, _)) = self.meta.get(&id) else { continue };
-            refs.push(MicroblockRef::proven(id, *creator, *tx_count, proof.clone()));
+            let Some(proof) = self.certified.get(&id) else {
+                continue;
+            };
+            let Some((creator, tx_count, _)) = self.meta.get(&id) else {
+                continue;
+            };
+            refs.push(MicroblockRef::proven(
+                id,
+                *creator,
+                *tx_count,
+                proof.clone(),
+            ));
         }
         if refs.is_empty() {
             Payload::Empty
@@ -275,6 +318,15 @@ impl Mempool for NarwhalMempool {
         let mut effects = Effects::none();
         let refs = match &proposal.payload {
             Payload::Refs(refs) => refs,
+            // Per-shard groups are split off by the sharded wrapper before
+            // a backend sees them; a whole sharded payload reaching an
+            // unsharded backend must not bypass reference verification.
+            Payload::Sharded(_) => {
+                return (
+                    FillStatus::Invalid("sharded payload reached an unsharded mempool"),
+                    effects,
+                )
+            }
             _ => return (FillStatus::Ready, effects),
         };
         // Every reference must carry a valid certificate.
@@ -311,7 +363,9 @@ impl Mempool for NarwhalMempool {
         let action = self.fetcher.register(missing.clone(), signer_pool);
         effects.send(action.target, NarwhalMsg::Fetch { ids: action.ids });
         effects.timer(self.fetcher.timeout, action.tag);
-        effects.event(MempoolEvent::FetchIssued { count: missing.len() as u32 });
+        effects.event(MempoolEvent::FetchIssued {
+            count: missing.len() as u32,
+        });
         (FillStatus::Ready, effects)
     }
 
@@ -342,6 +396,9 @@ impl Mempool for NarwhalMempool {
 
 #[cfg(test)]
 mod tests {
+    // The message-routing loops below use the index both to address the
+    // node array and as the replica identity.
+    #![allow(clippy::needless_range_loop)]
     use super::*;
     use rand::SeedableRng;
     use smp_types::{BlockId, ClientId, MempoolConfig, View};
@@ -354,7 +411,9 @@ mod tests {
     }
 
     fn txs(n: usize) -> Vec<Transaction> {
-        (0..n).map(|i| Transaction::synthetic(ClientId(7), i as u64, 128, 0)).collect()
+        (0..n)
+            .map(|i| Transaction::synthetic(ClientId(7), i as u64, 128, 0))
+            .collect()
     }
 
     fn rng() -> SmallRng {
@@ -366,8 +425,9 @@ mod tests {
     /// mempools and the certified batch id.
     fn certify_one_batch() -> (Vec<NarwhalMempool>, MicroblockId) {
         let cfg = config();
-        let mut nodes: Vec<NarwhalMempool> =
-            (0..4).map(|i| NarwhalMempool::new(&cfg, ReplicaId(i))).collect();
+        let mut nodes: Vec<NarwhalMempool> = (0..4)
+            .map(|i| NarwhalMempool::new(&cfg, ReplicaId(i)))
+            .collect();
         let mut r = rng();
         let fx = nodes[0].on_client_txs(0, txs(4), &mut r);
         let batch = fx
@@ -382,7 +442,8 @@ mod tests {
         // Deliver the batch to 1..3, collect echoes.
         let mut echoes = Vec::new();
         for i in 1..4usize {
-            let fx = nodes[i].on_message(10, ReplicaId(0), NarwhalMsg::Batch(batch.clone()), &mut r);
+            let fx =
+                nodes[i].on_message(10, ReplicaId(0), NarwhalMsg::Batch(batch.clone()), &mut r);
             for (_, m) in fx.msgs {
                 if matches!(m, NarwhalMsg::Echo { .. }) {
                     echoes.push((ReplicaId(i as u32), m));
@@ -467,20 +528,32 @@ mod tests {
         let _ = fresh.on_message(
             50,
             ReplicaId(0),
-            NarwhalMsg::Certificate { id, creator: ReplicaId(0), tx_count: 4, proof: cert },
+            NarwhalMsg::Certificate {
+                id,
+                creator: ReplicaId(0),
+                tx_count: 4,
+                proof: cert,
+            },
             &mut r,
         );
         let (status, fx) = fresh.on_proposal(60, &p, &mut r);
         assert_eq!(status, FillStatus::Ready, "consensus is not blocked");
-        assert!(fx.msgs.iter().any(|(_, m)| matches!(m, NarwhalMsg::Fetch { .. })));
-        assert!(fx.events.iter().any(|e| matches!(e, MempoolEvent::FetchIssued { .. })));
+        assert!(fx
+            .msgs
+            .iter()
+            .any(|(_, m)| matches!(m, NarwhalMsg::Fetch { .. })));
+        assert!(fx
+            .events
+            .iter()
+            .any(|e| matches!(e, MempoolEvent::FetchIssued { .. })));
     }
 
     #[test]
     fn creator_observes_stability() {
         let cfg = config();
-        let mut nodes: Vec<NarwhalMempool> =
-            (0..4).map(|i| NarwhalMempool::new(&cfg, ReplicaId(i))).collect();
+        let mut nodes: Vec<NarwhalMempool> = (0..4)
+            .map(|i| NarwhalMempool::new(&cfg, ReplicaId(i)))
+            .collect();
         let mut r = rng();
         let fx = nodes[0].on_client_txs(0, txs(4), &mut r);
         let batch = match &fx.msgs[0].1 {
@@ -491,7 +564,8 @@ mod tests {
         let mut stable_seen = false;
         let mut pending: Vec<(ReplicaId, NarwhalMsg)> = Vec::new();
         for i in 1..4usize {
-            let fx = nodes[i].on_message(10, ReplicaId(0), NarwhalMsg::Batch(batch.clone()), &mut r);
+            let fx =
+                nodes[i].on_message(10, ReplicaId(0), NarwhalMsg::Batch(batch.clone()), &mut r);
             pending.extend(fx.msgs.into_iter().map(|(_, m)| (ReplicaId(i as u32), m)));
         }
         // Two message rounds are enough to certify at the creator.
@@ -505,12 +579,19 @@ mod tests {
                         .iter()
                         .any(|e| matches!(e, MempoolEvent::MicroblockStable { .. }));
                     if target != from.index() {
-                        next.extend(fx.msgs.into_iter().map(|(_, msg)| (ReplicaId(target as u32), msg)));
+                        next.extend(
+                            fx.msgs
+                                .into_iter()
+                                .map(|(_, msg)| (ReplicaId(target as u32), msg)),
+                        );
                     }
                 }
             }
             pending = next;
         }
-        assert!(stable_seen, "creator should observe stability after certification");
+        assert!(
+            stable_seen,
+            "creator should observe stability after certification"
+        );
     }
 }

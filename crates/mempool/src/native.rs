@@ -9,9 +9,7 @@
 
 use crate::api::{Effects, FillStatus, Mempool, MempoolStats, TimerTag};
 use rand::rngs::SmallRng;
-use smp_types::{
-    MempoolConfig, Payload, Proposal, ReplicaId, SimTime, SystemConfig, Transaction,
-};
+use smp_types::{MempoolConfig, Payload, Proposal, ReplicaId, SimTime, SystemConfig, Transaction};
 use std::collections::VecDeque;
 
 /// Marker message type: the native mempool never talks to its peers.
@@ -36,7 +34,12 @@ pub struct NativeMempool {
 impl NativeMempool {
     /// Creates the native mempool for replica `me`.
     pub fn new(config: &SystemConfig, me: ReplicaId) -> Self {
-        NativeMempool { me, config: config.mempool, pending: VecDeque::new(), executed_txs: 0 }
+        NativeMempool {
+            me,
+            config: config.mempool,
+            pending: VecDeque::new(),
+            executed_txs: 0,
+        }
     }
 
     /// Total transactions executed through committed proposals.
@@ -71,7 +74,12 @@ impl Mempool for NativeMempool {
         match msg {}
     }
 
-    fn on_timer(&mut self, _now: SimTime, _tag: TimerTag, _rng: &mut SmallRng) -> Effects<NativeMsg> {
+    fn on_timer(
+        &mut self,
+        _now: SimTime,
+        _tag: TimerTag,
+        _rng: &mut SmallRng,
+    ) -> Effects<NativeMsg> {
         Effects::none()
     }
 
@@ -79,7 +87,10 @@ impl Mempool for NativeMempool {
         if self.pending.is_empty() {
             return Payload::Empty;
         }
-        let take = self.config.max_inline_txs_per_proposal.min(self.pending.len());
+        let take = self
+            .config
+            .max_inline_txs_per_proposal
+            .min(self.pending.len());
         let txs: Vec<Transaction> = self.pending.drain(..take).collect();
         Payload::inline(txs)
     }
@@ -92,10 +103,16 @@ impl Mempool for NativeMempool {
     ) -> (FillStatus, Effects<NativeMsg>) {
         match &proposal.payload {
             Payload::Inline(_) | Payload::Empty => (FillStatus::Ready, Effects::none()),
-            Payload::Refs(_) => {
-                (FillStatus::Invalid("native mempool cannot resolve referenced payloads"),
-                 Effects::none())
-            }
+            Payload::Refs(_) => (
+                FillStatus::Invalid("native mempool cannot resolve referenced payloads"),
+                Effects::none(),
+            ),
+            // Per-shard groups are split off by the sharded wrapper before
+            // a backend sees them; reaching here is a layering error.
+            Payload::Sharded(_) => (
+                FillStatus::Invalid("sharded payload reached an unsharded mempool"),
+                Effects::none(),
+            ),
         }
     }
 
@@ -117,7 +134,7 @@ impl Mempool for NativeMempool {
                     receive_times: Vec::new(),
                 });
             }
-            Payload::Refs(_) => {}
+            Payload::Refs(_) | Payload::Sharded(_) => {}
         }
         effects
     }
@@ -143,11 +160,16 @@ mod tests {
 
     fn setup() -> (NativeMempool, SmallRng) {
         let cfg = SystemConfig::new(4);
-        (NativeMempool::new(&cfg, ReplicaId(1)), SmallRng::seed_from_u64(0))
+        (
+            NativeMempool::new(&cfg, ReplicaId(1)),
+            SmallRng::seed_from_u64(0),
+        )
     }
 
     fn txs(n: usize) -> Vec<Transaction> {
-        (0..n).map(|i| Transaction::synthetic(ClientId(5), i as u64, 128, 0)).collect()
+        (0..n)
+            .map(|i| Transaction::synthetic(ClientId(5), i as u64, 128, 0))
+            .collect()
     }
 
     #[test]
@@ -189,11 +211,22 @@ mod tests {
     fn commit_reports_executed_txs_with_latencies() {
         let (mut mp, mut rng) = setup();
         mp.on_client_txs(50, txs(5), &mut rng);
-        let p = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(1), mp.make_payload(60), true);
+        let p = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(1),
+            mp.make_payload(60),
+            true,
+        );
         let fx = mp.on_commit(100, &p);
         assert_eq!(fx.events.len(), 1);
         match &fx.events[0] {
-            MempoolEvent::Executed { tx_count, receive_times, .. } => {
+            MempoolEvent::Executed {
+                tx_count,
+                receive_times,
+                ..
+            } => {
                 assert_eq!(*tx_count, 5);
                 assert_eq!(receive_times, &vec![50; 5]);
             }

@@ -113,8 +113,10 @@ impl Mempool for SimpleSmp {
                 self.ingest_microblock(now, mb, &mut effects);
             }
             SmpMsg::Fetch { ids } => {
-                let mbs: Vec<Microblock> =
-                    ids.iter().filter_map(|id| self.store.get(id).cloned()).collect();
+                let mbs: Vec<Microblock> = ids
+                    .iter()
+                    .filter_map(|id| self.store.get(id).cloned())
+                    .collect();
                 if !mbs.is_empty() {
                     effects.send(from, SmpMsg::FetchResp { mbs });
                 }
@@ -153,7 +155,9 @@ impl Mempool for SimpleSmp {
         let mut refs = Vec::new();
         while refs.len() < self.max_refs {
             let Some(id) = self.queue.pop() else { break };
-            let Some(mb) = self.store.get(&id) else { continue };
+            let Some(mb) = self.store.get(&id) else {
+                continue;
+            };
             refs.push(MicroblockRef::unproven(id, mb.creator, mb.len() as u32));
         }
         if refs.is_empty() {
@@ -173,6 +177,14 @@ impl Mempool for SimpleSmp {
         let refs = match &proposal.payload {
             Payload::Refs(refs) => refs,
             Payload::Inline(_) | Payload::Empty => return (FillStatus::Ready, effects),
+            // Per-shard groups are split off by the sharded wrapper before
+            // a backend sees them; reaching here is a layering error.
+            Payload::Sharded(_) => {
+                return (
+                    FillStatus::Invalid("sharded payload reached an unsharded mempool"),
+                    effects,
+                )
+            }
         };
         let mut missing = Vec::new();
         for r in refs {
@@ -188,10 +200,14 @@ impl Mempool for SimpleSmp {
         // Best-effort SMP: consensus is blocked; fetch everything from the
         // leader that proposed it (Section III-E, Problem-I).
         self.tracker.track(proposal, missing.clone(), true);
-        let action = self.fetcher.register(missing.clone(), vec![proposal.proposer]);
+        let action = self
+            .fetcher
+            .register(missing.clone(), vec![proposal.proposer]);
         effects.send(action.target, SmpMsg::Fetch { ids: action.ids });
         effects.timer(self.fetcher.timeout, action.tag);
-        effects.event(MempoolEvent::FetchIssued { count: missing.len() as u32 });
+        effects.event(MempoolEvent::FetchIssued {
+            count: missing.len() as u32,
+        });
         (FillStatus::MustWait(missing), effects)
     }
 
@@ -234,7 +250,9 @@ mod tests {
     }
 
     fn txs(base: u64, n: usize) -> Vec<Transaction> {
-        (0..n).map(|i| Transaction::synthetic(ClientId(9), base + i as u64, 128, 0)).collect()
+        (0..n)
+            .map(|i| Transaction::synthetic(ClientId(9), base + i as u64, 128, 0))
+            .collect()
     }
 
     fn rng() -> SmallRng {
@@ -291,7 +309,10 @@ mod tests {
         assert!(fx.msgs.iter().any(|(dest, msg)| {
             matches!(msg, SmpMsg::Fetch { .. }) && *dest == crate::api::Dest::One(ReplicaId(0))
         }));
-        assert!(fx.events.iter().any(|e| matches!(e, MempoolEvent::FetchIssued { count: 1 })));
+        assert!(fx
+            .events
+            .iter()
+            .any(|e| matches!(e, MempoolEvent::FetchIssued { count: 1 })));
     }
 
     #[test]
@@ -303,8 +324,14 @@ mod tests {
             SmpMsg::Microblock(mb) => mb.clone(),
             other => panic!("unexpected {other:?}"),
         };
-        let proposal =
-            Proposal::new(View(3), 1, BlockId::GENESIS, ReplicaId(0), a.make_payload(1), true);
+        let proposal = Proposal::new(
+            View(3),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            a.make_payload(1),
+            true,
+        );
         let (_, _) = b.on_proposal(10, &proposal, &mut rng());
         // The leader answers the fetch.
         let fetch_fx = a.on_message(
@@ -315,10 +342,9 @@ mod tests {
         );
         let resp = fetch_fx.msgs[0].1.clone();
         let fx = b.on_message(30, ReplicaId(0), resp, &mut rng());
-        assert!(fx
-            .events
-            .iter()
-            .any(|e| matches!(e, MempoolEvent::ProposalReady { proposal: p } if *p == proposal.id)));
+        assert!(fx.events.iter().any(
+            |e| matches!(e, MempoolEvent::ProposalReady { proposal: p } if *p == proposal.id)
+        ));
     }
 
     #[test]
@@ -326,13 +352,22 @@ mod tests {
         let mut a = SimpleSmp::new(&config(), ReplicaId(0));
         let mut b = SimpleSmp::new(&config(), ReplicaId(1));
         let _ = a.on_client_txs(0, txs(0, 4), &mut rng());
-        let proposal =
-            Proposal::new(View(3), 1, BlockId::GENESIS, ReplicaId(0), a.make_payload(1), true);
+        let proposal = Proposal::new(
+            View(3),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            a.make_payload(1),
+            true,
+        );
         let (_, fx) = b.on_proposal(10, &proposal, &mut rng());
         let (_, tag) = fx.timers[0];
         // Timer fires with the microblock still missing: a retry is issued.
         let retry_fx = b.on_timer(10 + DEFAULT_FETCH_TIMEOUT, tag, &mut rng());
-        assert!(retry_fx.msgs.iter().any(|(_, m)| matches!(m, SmpMsg::Fetch { .. })));
+        assert!(retry_fx
+            .msgs
+            .iter()
+            .any(|(_, m)| matches!(m, SmpMsg::Fetch { .. })));
         assert_eq!(b.stats().fetches_issued, 2);
     }
 
@@ -340,13 +375,19 @@ mod tests {
     fn commit_executes_locally_available_proposals() {
         let mut a = SimpleSmp::new(&config(), ReplicaId(0));
         let _ = a.on_client_txs(5, txs(0, 4), &mut rng());
-        let proposal =
-            Proposal::new(View(3), 1, BlockId::GENESIS, ReplicaId(0), a.make_payload(1), true);
+        let proposal = Proposal::new(
+            View(3),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            a.make_payload(1),
+            true,
+        );
         let fx = a.on_commit(50, &proposal);
-        assert!(fx.events.iter().any(|e| matches!(
-            e,
-            MempoolEvent::Executed { tx_count: 4, .. }
-        )));
+        assert!(fx
+            .events
+            .iter()
+            .any(|e| matches!(e, MempoolEvent::Executed { tx_count: 4, .. })));
     }
 
     #[test]

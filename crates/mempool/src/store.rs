@@ -11,7 +11,7 @@
 //!   committed and was waiting for data before execution).
 
 use crate::api::MempoolEvent;
-use smp_types::{BlockId, MicroblockId, Microblock, Payload, Proposal, SimTime};
+use smp_types::{BlockId, Microblock, MicroblockId, Payload, Proposal, SimTime};
 use std::collections::{BTreeSet, HashMap, VecDeque};
 
 /// Content-addressed store of microblocks.
@@ -23,7 +23,9 @@ pub struct MicroblockStore {
 impl MicroblockStore {
     /// Creates an empty store.
     pub fn new() -> Self {
-        MicroblockStore { mbs: HashMap::new() }
+        MicroblockStore {
+            mbs: HashMap::new(),
+        }
     }
 
     /// Inserts a microblock; returns `true` if it was not already present.
@@ -213,7 +215,10 @@ impl FillTracker {
             }
         }
         for pid in completed {
-            let pending = self.pending.remove(&pid).expect("completed proposal is pending");
+            let pending = self
+                .pending
+                .remove(&pid)
+                .expect("completed proposal is pending");
             if pending.awaiting_ready {
                 events.push(MempoolEvent::ProposalReady { proposal: pid });
             }
@@ -260,7 +265,10 @@ impl FillTracker {
                     receive_times: txs.iter().filter_map(|t| t.received_at).collect(),
                 }]
             }
-            Payload::Empty => {
+            // Sharded payloads are split into per-shard groups before any
+            // backend commits them, so a whole sharded payload carries no
+            // locally attributable transactions at this layer.
+            Payload::Empty | Payload::Sharded(_) => {
                 self.executed += 1;
                 vec![MempoolEvent::Executed {
                     proposal: proposal.id,
@@ -293,7 +301,14 @@ mod tests {
             .iter()
             .map(|m| MicroblockRef::unproven(m.id, m.creator, m.len() as u32))
             .collect();
-        Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Refs(refs), true)
+        Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Refs(refs),
+            true,
+        )
     }
 
     #[test]
@@ -355,7 +370,11 @@ mod tests {
         let events = tracker.on_microblock(m2.id, &store, 50);
         assert_eq!(events.len(), 1);
         match &events[0] {
-            MempoolEvent::Executed { tx_count, receive_times, .. } => {
+            MempoolEvent::Executed {
+                tx_count,
+                receive_times,
+                ..
+            } => {
                 assert_eq!(*tx_count, 5);
                 assert_eq!(receive_times.len(), 5);
             }
@@ -390,17 +409,34 @@ mod tests {
                 t
             })
             .collect();
-        let inline =
-            Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::inline(txs), true);
+        let inline = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::inline(txs),
+            true,
+        );
         let events = tracker.on_commit(&inline, &store, 10);
         match &events[0] {
-            MempoolEvent::Executed { tx_count, receive_times, .. } => {
+            MempoolEvent::Executed {
+                tx_count,
+                receive_times,
+                ..
+            } => {
                 assert_eq!(*tx_count, 3);
                 assert_eq!(receive_times.len(), 3);
             }
             other => panic!("unexpected event {other:?}"),
         }
-        let empty = Proposal::new(View(2), 2, BlockId::GENESIS, ReplicaId(0), Payload::Empty, true);
+        let empty = Proposal::new(
+            View(2),
+            2,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Empty,
+            true,
+        );
         let events = tracker.on_commit(&empty, &store, 10);
         match &events[0] {
             MempoolEvent::Executed { tx_count, .. } => assert_eq!(*tx_count, 0),

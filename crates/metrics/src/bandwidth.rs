@@ -64,7 +64,8 @@ impl BandwidthBreakdown {
             let mut role = RoleBandwidth::default();
             for (kind, b) in bytes {
                 let per_replica = if count == 0 { 0 } else { b / count as u64 };
-                role.mbps_by_kind.insert((*kind).to_string(), bytes_to_mbps(per_replica, window));
+                role.mbps_by_kind
+                    .insert((*kind).to_string(), bytes_to_mbps(per_replica, window));
             }
             role
         };
@@ -80,11 +81,19 @@ impl BandwidthBreakdown {
         for (kind, mbps) in &self.leader.mbps_by_kind {
             out.push(("leader".to_string(), kind.clone(), *mbps));
         }
-        out.push(("leader".to_string(), "SUM".to_string(), self.leader.total_mbps()));
+        out.push((
+            "leader".to_string(),
+            "SUM".to_string(),
+            self.leader.total_mbps(),
+        ));
         for (kind, mbps) in &self.non_leader.mbps_by_kind {
             out.push(("non-leader".to_string(), kind.clone(), *mbps));
         }
-        out.push(("non-leader".to_string(), "SUM".to_string(), self.non_leader.total_mbps()));
+        out.push((
+            "non-leader".to_string(),
+            "SUM".to_string(),
+            self.non_leader.total_mbps(),
+        ));
         out
     }
 }
@@ -123,8 +132,12 @@ mod tests {
         let non_leader = HashMap::new();
         let b = BandwidthBreakdown::from_bytes(&leader, 1, &non_leader, 1, MICROS_PER_SEC);
         let rows = b.rows();
-        assert!(rows.iter().any(|(role, kind, _)| role == "leader" && kind == "SUM"));
-        assert!(rows.iter().any(|(role, kind, _)| role == "non-leader" && kind == "SUM"));
+        assert!(rows
+            .iter()
+            .any(|(role, kind, _)| role == "leader" && kind == "SUM"));
+        assert!(rows
+            .iter()
+            .any(|(role, kind, _)| role == "non-leader" && kind == "SUM"));
     }
 
     #[test]

@@ -21,7 +21,13 @@ pub struct LatencyHistogram {
 impl LatencyHistogram {
     /// Creates an empty histogram.
     pub fn new() -> Self {
-        LatencyHistogram { samples: Vec::new(), sorted: true, sum: 0, max: 0, min: u64::MAX }
+        LatencyHistogram {
+            samples: Vec::new(),
+            sorted: true,
+            sum: 0,
+            max: 0,
+            min: u64::MAX,
+        }
     }
 
     /// Records one latency sample in microseconds.

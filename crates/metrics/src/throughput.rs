@@ -14,7 +14,10 @@ pub struct ThroughputMeter {
 impl ThroughputMeter {
     /// Creates an empty meter.
     pub fn new() -> Self {
-        ThroughputMeter { events: Vec::new(), total: 0 }
+        ThroughputMeter {
+            events: Vec::new(),
+            total: 0,
+        }
     }
 
     /// Records `count` transactions committed at `time`.
@@ -33,7 +36,11 @@ impl ThroughputMeter {
 
     /// Transactions committed in the window `[from, to)`.
     pub fn total_in(&self, from: SimTime, to: SimTime) -> u64 {
-        self.events.iter().filter(|(t, _)| *t >= from && *t < to).map(|(_, c)| *c).sum()
+        self.events
+            .iter()
+            .filter(|(t, _)| *t >= from && *t < to)
+            .map(|(_, c)| *c)
+            .sum()
     }
 
     /// Average throughput (tx/s) over the window `[from, to)`.

@@ -10,6 +10,7 @@ use simnet::{FaultWindow, NetConfig, Node, Simulation};
 use smp_consensus::{ConsensusEngine, HotStuffEngine, MirBftEngine, PbftEngine, StreamletEngine};
 use smp_mempool::{GossipSmp, Mempool, NarwhalMempool, NativeMempool, SimpleSmp};
 use smp_metrics::{bytes_to_mbps, BandwidthBreakdown, RoleBandwidth, RunSummary};
+use smp_shard::ShardedMempool;
 use smp_types::{
     MempoolConfig, NetworkPreset, ReplicaId, SimTime, SystemConfig, MICROS_PER_MS, MICROS_PER_SEC,
 };
@@ -54,6 +55,9 @@ pub struct ExperimentConfig {
     pub num_silent: usize,
     /// View-change / pacemaker timeout.
     pub view_timeout: SimTime,
+    /// Number of shared-mempool dissemination shards per replica
+    /// (`smp-shard`); `1` runs the backend mempool unwrapped.
+    pub shards: usize,
 }
 
 impl ExperimentConfig {
@@ -77,7 +81,14 @@ impl ExperimentConfig {
             byzantine_extra: 0,
             num_silent: 0,
             view_timeout: 1_000 * MICROS_PER_MS,
+            shards: 1,
         }
+    }
+
+    /// Sets the number of shared-mempool dissemination shards.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Switches to the WAN environment.
@@ -145,13 +156,16 @@ impl ExperimentConfig {
 
     /// The derived system configuration.
     pub fn system(&self) -> SystemConfig {
-        let mut sys = SystemConfig::new(self.n).with_network(self.network).with_seed(self.seed);
+        let mut sys = SystemConfig::new(self.n)
+            .with_network(self.network)
+            .with_seed(self.seed);
         sys.mempool = MempoolConfig {
             batch_size_bytes: self.batch_size_bytes,
             tx_payload_bytes: self.workload.payload_bytes,
             ..MempoolConfig::default()
         };
         sys.view_change_timeout = self.view_timeout;
+        sys = sys.with_shards(self.shards);
         if let Some(q) = self.pab_quorum {
             sys = sys.with_pab_quorum(q);
         }
@@ -168,7 +182,9 @@ impl ExperimentConfig {
         let byz_start = self.n.saturating_sub(self.num_byzantine);
         let silent_start = byz_start.saturating_sub(self.num_silent);
         if i >= byz_start {
-            Behavior::ByzantineSender { extra: self.byzantine_extra }
+            Behavior::ByzantineSender {
+                extra: self.byzantine_extra,
+            }
         } else if i >= silent_start {
             Behavior::Silent
         } else {
@@ -218,69 +234,61 @@ impl ExperimentResult {
 pub fn run(config: &ExperimentConfig) -> ExperimentResult {
     let sys = config.system();
     match config.protocol {
-        Protocol::NativeHotStuff => run_generic(
-            config,
-            &sys,
-            |s, i| HotStuffEngine::new(s, i),
-            |s, i| NativeMempool::new(s, i),
-        ),
-        Protocol::NativePbft => run_generic(
-            config,
-            &sys,
-            |s, i| PbftEngine::new(s, i),
-            |s, i| NativeMempool::new(s, i),
-        ),
-        Protocol::SmpHotStuff => run_generic(
-            config,
-            &sys,
-            |s, i| HotStuffEngine::new(s, i),
-            |s, i| SimpleSmp::new(s, i),
-        ),
-        Protocol::SmpHotStuffGossip => run_generic(
-            config,
-            &sys,
-            |s, i| HotStuffEngine::new(s, i),
-            |s, i| GossipSmp::new(s, i),
-        ),
+        Protocol::NativeHotStuff => {
+            run_protocol(config, &sys, HotStuffEngine::new, NativeMempool::new)
+        }
+        Protocol::NativePbft => run_protocol(config, &sys, PbftEngine::new, NativeMempool::new),
+        Protocol::SmpHotStuff => run_protocol(config, &sys, HotStuffEngine::new, SimpleSmp::new),
+        Protocol::SmpHotStuffGossip => {
+            run_protocol(config, &sys, HotStuffEngine::new, GossipSmp::new)
+        }
         Protocol::StratusHotStuff => {
             let st = config.stratus_config(&sys);
-            run_generic(
-                config,
-                &sys,
-                |s, i| HotStuffEngine::new(s, i),
-                move |s, i| StratusMempool::new(s, st, i),
-            )
+            run_protocol(config, &sys, HotStuffEngine::new, move |s, i| {
+                StratusMempool::new(s, st, i)
+            })
         }
         Protocol::StratusPbft => {
             let st = config.stratus_config(&sys);
-            run_generic(
-                config,
-                &sys,
-                |s, i| PbftEngine::new(s, i),
-                move |s, i| StratusMempool::new(s, st, i),
-            )
+            run_protocol(config, &sys, PbftEngine::new, move |s, i| {
+                StratusMempool::new(s, st, i)
+            })
         }
         Protocol::StratusStreamlet => {
             let st = config.stratus_config(&sys);
-            run_generic(
-                config,
-                &sys,
-                |s, i| StreamletEngine::new(s, i),
-                move |s, i| StratusMempool::new(s, st, i),
-            )
+            run_protocol(config, &sys, StreamletEngine::new, move |s, i| {
+                StratusMempool::new(s, st, i)
+            })
         }
-        Protocol::Narwhal => run_generic(
-            config,
-            &sys,
-            |s, i| HotStuffEngine::new(s, i),
-            |s, i| NarwhalMempool::new(s, i),
-        ),
-        Protocol::MirBft => run_generic(
-            config,
-            &sys,
-            |s, i| MirBftEngine::new(s, i),
-            |s, i| NativeMempool::new(s, i),
-        ),
+        Protocol::Narwhal => run_protocol(config, &sys, HotStuffEngine::new, NarwhalMempool::new),
+        Protocol::MirBft => run_protocol(config, &sys, MirBftEngine::new, NativeMempool::new),
+    }
+}
+
+/// Runs one protocol with its backend mempool, wrapping the backend in a
+/// [`ShardedMempool`] when the configuration asks for more than one
+/// dissemination shard.  Every protocol of Table II composes with
+/// sharding this way (e.g. `StratusHotStuff` × k shards).
+fn run_protocol<E, M, FE, FM>(
+    config: &ExperimentConfig,
+    sys: &SystemConfig,
+    make_engine: FE,
+    make_mempool: FM,
+) -> ExperimentResult
+where
+    E: ConsensusEngine,
+    M: Mempool,
+    M::Msg: MempoolWire,
+    FE: Fn(&SystemConfig, ReplicaId) -> E,
+    FM: Fn(&SystemConfig, ReplicaId) -> M,
+{
+    if config.shards > 1 {
+        let k = config.shards;
+        run_generic(config, sys, make_engine, move |s, i| {
+            ShardedMempool::new(s, k, |_shard| make_mempool(s, i))
+        })
+    } else {
+        run_generic(config, sys, make_engine, make_mempool)
     }
 }
 
@@ -357,19 +365,24 @@ where
             leader.mbps_by_kind.insert((*kind).to_string(), total_mbps);
         } else {
             let per_replica = total_mbps / config.n as f64;
-            non_leader.mbps_by_kind.insert((*kind).to_string(), per_replica);
+            non_leader
+                .mbps_by_kind
+                .insert((*kind).to_string(), per_replica);
             // The leader also behaves as an ordinary replica for these kinds.
             leader.mbps_by_kind.insert((*kind).to_string(), per_replica);
         }
     }
     let bandwidth = BandwidthBreakdown { leader, non_leader };
 
-    let throughput_series = sim
-        .observations()
-        .throughput_series(ReplicaId(observer as u32), MICROS_PER_SEC, horizon);
+    let throughput_series =
+        sim.observations()
+            .throughput_series(ReplicaId(observer as u32), MICROS_PER_SEC, horizon);
 
     let obs_metrics = sim.node_mut(observer);
-    let committed = obs_metrics.metrics().throughput.total_in(window.0, window.1);
+    let committed = obs_metrics
+        .metrics()
+        .throughput
+        .total_in(window.0, window.1);
     let mut latency = obs_metrics.metrics().latency.clone();
     let summary = RunSummary::from_measurements(
         config.protocol.label(),
@@ -407,7 +420,10 @@ pub fn saturation_sweep(
                 scope.spawn(move || run(&cfg))
             })
             .collect();
-        handles.into_iter().map(|h| h.join().expect("experiment thread panicked")).collect()
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("experiment thread panicked"))
+            .collect()
     });
     let mut best = 0;
     for (i, r) in results.iter().enumerate() {
@@ -438,13 +454,20 @@ mod tests {
             result.summary.throughput_ktps
         );
         assert!(result.summary.mean_latency_ms > 0.0);
-        assert_eq!(result.view_changes, 0, "no view changes in the failure-free case");
+        assert_eq!(
+            result.view_changes, 0,
+            "no view changes in the failure-free case"
+        );
     }
 
     #[test]
     fn native_hotstuff_also_commits_at_low_load() {
         let result = run(&quick(Protocol::NativeHotStuff, 4, 1_000.0));
-        assert!(result.summary.throughput_ktps > 0.5, "got {}", result.summary.throughput_ktps);
+        assert!(
+            result.summary.throughput_ktps > 0.5,
+            "got {}",
+            result.summary.throughput_ktps
+        );
     }
 
     #[test]

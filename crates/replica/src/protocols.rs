@@ -68,7 +68,10 @@ impl Protocol {
 
     /// Whether the protocol uses any shared mempool at all.
     pub fn uses_shared_mempool(&self) -> bool {
-        !matches!(self, Protocol::NativeHotStuff | Protocol::NativePbft | Protocol::MirBft)
+        !matches!(
+            self,
+            Protocol::NativeHotStuff | Protocol::NativePbft | Protocol::MirBft
+        )
     }
 
     /// All protocols evaluated in the scalability experiment (Figure 7).

@@ -161,11 +161,7 @@ where
         }
     }
 
-    fn handle_consensus_event(
-        &mut self,
-        ctx: &mut NodeCtx<'_, ReplicaMsg<M::Msg>>,
-        ev: CEvent,
-    ) {
+    fn handle_consensus_event(&mut self, ctx: &mut NodeCtx<'_, ReplicaMsg<M::Msg>>, ev: CEvent) {
         let now = ctx.now();
         match ev {
             CEvent::NeedPayload { view } => {
@@ -179,13 +175,19 @@ where
                 self.apply_mempool_effects(ctx, mfx);
                 match status {
                     FillStatus::Ready => {
-                        let fx =
-                            self.engine.on_proposal_verdict(now, proposal.id, ProposalVerdict::Accept);
+                        let fx = self.engine.on_proposal_verdict(
+                            now,
+                            proposal.id,
+                            ProposalVerdict::Accept,
+                        );
                         self.apply_consensus_effects(ctx, fx);
                     }
                     FillStatus::Invalid(_) => {
-                        let fx =
-                            self.engine.on_proposal_verdict(now, proposal.id, ProposalVerdict::Reject);
+                        let fx = self.engine.on_proposal_verdict(
+                            now,
+                            proposal.id,
+                            ProposalVerdict::Reject,
+                        );
                         self.apply_consensus_effects(ctx, fx);
                     }
                     FillStatus::MustWait(_) => {
@@ -268,14 +270,22 @@ where
         match ev {
             MempoolEvent::ProposalReady { proposal } => {
                 if self.pending_verdicts.remove(&proposal) {
-                    let fx = self.engine.on_proposal_verdict(now, proposal, ProposalVerdict::Accept);
+                    let fx =
+                        self.engine
+                            .on_proposal_verdict(now, proposal, ProposalVerdict::Accept);
                     self.apply_consensus_effects(ctx, fx);
                 }
             }
             MempoolEvent::MicroblockStable { stable_time, .. } => {
-                ctx.observe(ObsKind::MicroblockStable { stable_time_us: stable_time });
+                ctx.observe(ObsKind::MicroblockStable {
+                    stable_time_us: stable_time,
+                });
             }
-            MempoolEvent::Executed { tx_count, receive_times, .. } => {
+            MempoolEvent::Executed {
+                tx_count,
+                receive_times,
+                ..
+            } => {
                 self.metrics.throughput.record(now, tx_count as u64);
                 let mut latency_sum = 0u64;
                 let mut latency_count = 0u32;
@@ -287,7 +297,11 @@ where
                         self.metrics.latency.record(lat);
                     }
                 }
-                ctx.observe(ObsKind::Committed { txs: tx_count, latency_sum_us: latency_sum, latency_count });
+                ctx.observe(ObsKind::Committed {
+                    txs: tx_count,
+                    latency_sum_us: latency_sum,
+                    latency_count,
+                });
             }
             MempoolEvent::FetchIssued { count } => {
                 self.metrics.missing_fetches += count as u64;
@@ -359,7 +373,9 @@ where
             }
             ctx.set_timer(TICK_INTERVAL, TICK_TAG);
         } else if tag & MEMPOOL_TAG_FLAG != 0 {
-            let fx = self.mempool.on_timer(now, tag & !MEMPOOL_TAG_FLAG, ctx.rng());
+            let fx = self
+                .mempool
+                .on_timer(now, tag & !MEMPOOL_TAG_FLAG, ctx.rng());
             self.apply_mempool_effects(ctx, fx);
         } else {
             let fx = self.engine.on_timer(now, tag);

@@ -10,6 +10,7 @@
 use simnet::SimMessage;
 use smp_consensus::ConsensusMsg;
 use smp_mempool::{NarwhalMsg, NativeMsg, SmpMsg};
+use smp_shard::ShardedMsg;
 use smp_types::WireSize;
 use stratus::StratusMsg;
 
@@ -40,7 +41,10 @@ impl MempoolWire for SmpMsg {
         SmpMsg::kind(self)
     }
     fn is_bulk(&self) -> bool {
-        matches!(self, SmpMsg::Microblock(_) | SmpMsg::Gossip { .. } | SmpMsg::FetchResp { .. })
+        matches!(
+            self,
+            SmpMsg::Microblock(_) | SmpMsg::Gossip { .. } | SmpMsg::FetchResp { .. }
+        )
     }
     fn cpu_cost_us(&self) -> f64 {
         match self {
@@ -83,7 +87,7 @@ impl MempoolWire for StratusMsg {
     fn cpu_cost_us(&self) -> f64 {
         match self {
             StratusMsg::PabMsg(mb) | StratusMsg::LbForward(mb) => 20.0 + 0.6 * mb.len() as f64,
-            StratusMsg::PabAck { .. } => 60.0,   // one signature verification
+            StratusMsg::PabAck { .. } => 60.0, // one signature verification
             StratusMsg::PabProof { proof, .. } => 25.0 + 8.0 * proof.len() as f64,
             StratusMsg::PabRequest { .. } => 8.0,
             StratusMsg::PabResponse { mbs } => {
@@ -91,6 +95,23 @@ impl MempoolWire for StratusMsg {
             }
             StratusMsg::LbQuery { .. } | StratusMsg::LbInfo { .. } => 5.0,
         }
+    }
+}
+
+/// A sharded envelope costs what its wrapped message costs: the shard
+/// index rides in header padding (see [`ShardedMsg`]), so bandwidth,
+/// priority, and CPU accounting all delegate to the inner message.  This
+/// is what makes a one-shard deployment behave identically to an
+/// unsharded one.
+impl<M: MempoolWire> MempoolWire for ShardedMsg<M> {
+    fn kind(&self) -> &'static str {
+        self.inner.kind()
+    }
+    fn is_bulk(&self) -> bool {
+        self.inner.is_bulk()
+    }
+    fn cpu_cost_us(&self) -> f64 {
+        self.inner.cpu_cost_us()
     }
 }
 
@@ -115,12 +136,18 @@ pub enum ReplicaPayload<MM> {
 impl<MM: MempoolWire> ReplicaMsg<MM> {
     /// Wraps a consensus message.
     pub fn consensus(msg: ConsensusMsg, priority: bool) -> Self {
-        ReplicaMsg { payload: ReplicaPayload::Consensus(msg), priority }
+        ReplicaMsg {
+            payload: ReplicaPayload::Consensus(msg),
+            priority,
+        }
     }
 
     /// Wraps a mempool message.
     pub fn mempool(msg: MM, priority: bool) -> Self {
-        ReplicaMsg { payload: ReplicaPayload::Mempool(msg), priority }
+        ReplicaMsg {
+            payload: ReplicaPayload::Mempool(msg),
+            priority,
+        }
     }
 }
 
@@ -164,16 +191,24 @@ impl<MM: MempoolWire> SimMessage for ReplicaMsg<MM> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use smp_types::{BlockId, ClientId, Microblock, Payload, Proposal, ReplicaId, Transaction, View};
+    use smp_types::{
+        BlockId, ClientId, Microblock, Payload, Proposal, ReplicaId, Transaction, View,
+    };
 
     fn mb(n: usize) -> Microblock {
-        let txs = (0..n).map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0)).collect();
+        let txs = (0..n)
+            .map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0))
+            .collect();
         Microblock::seal(ReplicaId(0), txs, 0)
     }
 
     #[test]
     fn consensus_votes_are_small_and_can_be_prioritized() {
-        let vote = ConsensusMsg::Vote { view: View(1), block: BlockId::GENESIS, voter: ReplicaId(0) };
+        let vote = ConsensusMsg::Vote {
+            view: View(1),
+            block: BlockId::GENESIS,
+            voter: ReplicaId(0),
+        };
         let msg: ReplicaMsg<StratusMsg> = ReplicaMsg::consensus(vote, true);
         assert!(msg.wire_size() < 200);
         assert!(msg.high_priority());
@@ -193,13 +228,24 @@ mod tests {
 
     #[test]
     fn proposal_cpu_cost_scales_with_contents() {
-        let small = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, true);
+        let small = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Empty,
+            true,
+        );
         let big = Proposal::new(
             View(1),
             1,
             BlockId::GENESIS,
             ReplicaId(0),
-            Payload::inline((0..1000).map(|i| Transaction::synthetic(ClientId(0), i, 128, 0)).collect()),
+            Payload::inline(
+                (0..1000)
+                    .map(|i| Transaction::synthetic(ClientId(0), i, 128, 0))
+                    .collect(),
+            ),
             true,
         );
         let s: ReplicaMsg<SmpMsg> = ReplicaMsg::consensus(ConsensusMsg::Propose(small), false);

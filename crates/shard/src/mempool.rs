@@ -1,0 +1,437 @@
+//! The sharded mempool wrapper.
+
+use crate::envelope::ShardedMsg;
+use crate::mux::TimerMux;
+use crate::router::ShardRouter;
+use rand::rngs::SmallRng;
+use smp_mempool::{Effects, FillStatus, Mempool, MempoolEvent, MempoolStats, TimerTag};
+use smp_types::{
+    BlockId, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig, Transaction,
+    WireSize, SHARD_GROUP_TAG_BYTES,
+};
+use std::collections::{HashMap, HashSet, VecDeque};
+
+/// One unit of proposable content drained from a shard, waiting to be
+/// placed into a cross-shard payload.
+#[derive(Clone, Debug)]
+enum PayloadItem {
+    /// A microblock reference from a shared-mempool backend.
+    Ref(u16, MicroblockRef),
+    /// An inline transaction from a native backend.
+    Tx(u16, Transaction),
+}
+
+impl PayloadItem {
+    fn shard(&self) -> u16 {
+        match self {
+            PayloadItem::Ref(s, _) | PayloadItem::Tx(s, _) => *s,
+        }
+    }
+
+    fn wire_size(&self) -> usize {
+        match self {
+            PayloadItem::Ref(_, r) => r.wire_size(),
+            PayloadItem::Tx(_, t) => t.wire_size(),
+        }
+    }
+}
+
+/// A shared mempool running `k` independent dissemination pipelines.
+///
+/// Wraps `k` instances of any backend mempool `M`.  Client transactions
+/// are routed to instances by id hash; instance `j` on this replica
+/// exchanges messages only with instance `j` on its peers (the
+/// [`ShardedMsg`] envelope carries the index).  Proposals assembled by
+/// [`Mempool::make_payload`] interleave content from all shards under the
+/// configured byte budget, and incoming proposals are filled by fanning
+/// per-shard groups back out to the owning instances.
+pub struct ShardedMempool<M> {
+    shards: Vec<M>,
+    router: ShardRouter,
+    mux: TimerMux,
+    /// Round-robin start offset for payload assembly, advanced once per
+    /// `make_payload` so no shard is systematically favoured when the
+    /// byte budget binds.
+    cursor: usize,
+    /// Byte budget for one cross-shard payload.
+    budget: usize,
+    /// Content drained from shards that did not fit into the previous
+    /// payload; included first in the next one.
+    carry: VecDeque<PayloadItem>,
+    /// Wire bytes currently held in `carry`, maintained incrementally so
+    /// `make_payload` can tell when a full budget's worth is already
+    /// backlogged without walking the queue.
+    carry_bytes: usize,
+    /// For proposals answered with `MustWait`: the shards whose fill is
+    /// still outstanding.  The aggregated `ProposalReady` is emitted when
+    /// the set drains.
+    pending_fills: HashMap<BlockId, HashSet<u16>>,
+}
+
+impl<M: Mempool> ShardedMempool<M> {
+    /// Builds a sharded mempool with `shards` instances produced by
+    /// `make` (called with the shard index).
+    pub fn new<F: FnMut(usize) -> M>(config: &SystemConfig, shards: usize, mut make: F) -> Self {
+        let shards = shards.max(1);
+        ShardedMempool {
+            shards: (0..shards).map(&mut make).collect(),
+            router: ShardRouter::new(shards),
+            mux: TimerMux::new(),
+            cursor: 0,
+            budget: config.mempool.max_proposal_bytes.max(1),
+            carry: VecDeque::new(),
+            carry_bytes: 0,
+            pending_fills: HashMap::new(),
+        }
+    }
+
+    /// Builds a sharded mempool with the shard count from
+    /// [`SystemConfig::shards`].
+    pub fn from_system<F: FnMut(usize) -> M>(config: &SystemConfig, make: F) -> Self {
+        ShardedMempool::new(config, config.shards, make)
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The router assigning transactions to shards.
+    pub fn router(&self) -> &ShardRouter {
+        &self.router
+    }
+
+    /// A specific inner instance (for inspection).
+    pub fn shard(&self, index: usize) -> &M {
+        &self.shards[index]
+    }
+
+    /// Per-shard counters (the [`Mempool::stats`] roll-up, unaggregated).
+    pub fn shard_stats(&self) -> Vec<MempoolStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Content drained from shards but not yet placed into a payload.
+    pub fn carried_items(&self) -> usize {
+        self.carry.len()
+    }
+
+    /// Re-tags effects coming out of shard `shard`: messages get the
+    /// envelope, timers go through the multiplexer, and per-shard
+    /// `ProposalReady` events are aggregated so consensus sees exactly one
+    /// notification per proposal, after the *last* waiting shard fills.
+    fn lift(&mut self, shard: u16, fx: Effects<M::Msg>) -> Effects<ShardedMsg<M::Msg>> {
+        let mut out = Effects::none();
+        for (dest, msg) in fx.msgs {
+            out.msgs.push((dest, ShardedMsg::new(shard, msg)));
+        }
+        for (delay, tag) in fx.timers {
+            out.timers.push((delay, self.mux.arm(shard, tag)));
+        }
+        for ev in fx.events {
+            match ev {
+                MempoolEvent::ProposalReady { proposal } => {
+                    match self.pending_fills.get_mut(&proposal) {
+                        Some(waiting) => {
+                            waiting.remove(&shard);
+                            if waiting.is_empty() {
+                                self.pending_fills.remove(&proposal);
+                                out.event(MempoolEvent::ProposalReady { proposal });
+                            }
+                        }
+                        // Not tracked (e.g. the backend re-announced):
+                        // forward untouched.
+                        None => out.event(MempoolEvent::ProposalReady { proposal }),
+                    }
+                }
+                other => out.event(other),
+            }
+        }
+        out
+    }
+
+    /// The sub-proposal handed to one shard: same header and id as the
+    /// original (so per-shard `ProposalReady` / commit bookkeeping keys
+    /// line up), carrying only that shard's payload group.
+    fn sub_proposal(proposal: &Proposal, payload: Payload) -> Proposal {
+        Proposal {
+            view: proposal.view,
+            height: proposal.height,
+            id: proposal.id,
+            parent: proposal.parent,
+            proposer: proposal.proposer,
+            payload,
+            carries_qc: proposal.carries_qc,
+        }
+    }
+
+    /// Drops carried refs that `proposal` already orders.  The backends
+    /// deduplicate their own queues when they see a proposal, but content
+    /// sitting in the wrapper-level carry queue is invisible to them —
+    /// without this, a ref drained here and then proposed by another
+    /// leader would be proposed (and executed) a second time.
+    fn prune_carry(&mut self, proposal: &Proposal) {
+        if self.carry.is_empty() {
+            return;
+        }
+        fn collect(payload: &Payload, ids: &mut HashSet<smp_types::MicroblockId>) {
+            match payload {
+                Payload::Refs(refs) => ids.extend(refs.iter().map(|r| r.id)),
+                Payload::Sharded(groups) => {
+                    for (_, p) in groups {
+                        collect(p, ids);
+                    }
+                }
+                _ => {}
+            }
+        }
+        let mut ids = HashSet::new();
+        collect(&proposal.payload, &mut ids);
+        if ids.is_empty() {
+            return;
+        }
+        self.carry.retain(|item| match item {
+            PayloadItem::Ref(_, r) => !ids.contains(&r.id),
+            PayloadItem::Tx(..) => true,
+        });
+        self.carry_bytes = self.carry.iter().map(PayloadItem::wire_size).sum();
+    }
+
+    /// Drains every shard's proposable content (round-robin from the
+    /// current cursor) into the item queue, after any carried-over items.
+    ///
+    /// When the carry queue already holds a full budget's worth of
+    /// content, shards are left untouched: their content stays inside the
+    /// backend (which deduplicates against committed proposals) instead
+    /// of accumulating without bound in the carry queue under sustained
+    /// overload.
+    fn drain_shards(&mut self, now: SimTime) -> Vec<PayloadItem> {
+        let k = self.shards.len();
+        let backlogged = self.carry_bytes >= self.budget;
+        let mut items: Vec<PayloadItem> = self.carry.drain(..).collect();
+        self.carry_bytes = 0;
+        if backlogged {
+            return items;
+        }
+        for off in 0..k {
+            let s = (self.cursor + off) % k;
+            match self.shards[s].make_payload(now) {
+                Payload::Empty => {}
+                Payload::Refs(refs) => {
+                    items.extend(refs.into_iter().map(|r| PayloadItem::Ref(s as u16, r)));
+                }
+                Payload::Inline(txs) => {
+                    items.extend(txs.iter().cloned().map(|t| PayloadItem::Tx(s as u16, t)));
+                }
+                // Backends never emit nested sharded payloads; fold the
+                // groups in defensively if one ever does.
+                Payload::Sharded(groups) => {
+                    for (_, p) in groups {
+                        match p {
+                            Payload::Refs(refs) => items
+                                .extend(refs.into_iter().map(|r| PayloadItem::Ref(s as u16, r))),
+                            Payload::Inline(txs) => items
+                                .extend(txs.iter().cloned().map(|t| PayloadItem::Tx(s as u16, t))),
+                            _ => {}
+                        }
+                    }
+                }
+            }
+        }
+        self.cursor = (self.cursor + 1) % k;
+        items
+    }
+
+    /// Assembles items into per-shard groups under the byte budget; what
+    /// does not fit goes back to the carry queue in order.
+    fn assemble(&mut self, items: Vec<PayloadItem>) -> Payload {
+        let mut order: Vec<u16> = Vec::new();
+        let mut refs: HashMap<u16, Vec<MicroblockRef>> = HashMap::new();
+        let mut txs: HashMap<u16, Vec<Transaction>> = HashMap::new();
+        let mut used = 0usize;
+        let mut full = false;
+        for item in items {
+            if full {
+                self.carry_bytes += item.wire_size();
+                self.carry.push_back(item);
+                continue;
+            }
+            let shard = item.shard();
+            let group_cost = if order.contains(&shard) {
+                0
+            } else {
+                SHARD_GROUP_TAG_BYTES
+            };
+            let cost = item.wire_size() + group_cost;
+            // Always admit the first item so an oversized single item
+            // cannot wedge the pipeline.
+            if used > 0 && used + cost > self.budget {
+                full = true;
+                self.carry_bytes += item.wire_size();
+                self.carry.push_back(item);
+                continue;
+            }
+            used += cost;
+            if !order.contains(&shard) {
+                order.push(shard);
+            }
+            match item {
+                PayloadItem::Ref(_, r) => refs.entry(shard).or_default().push(r),
+                PayloadItem::Tx(_, t) => txs.entry(shard).or_default().push(t),
+            }
+        }
+        let mut groups: Vec<(u16, Payload)> = Vec::with_capacity(order.len());
+        for shard in order {
+            if let Some(r) = refs.remove(&shard) {
+                groups.push((shard, Payload::Refs(r)));
+            }
+            if let Some(t) = txs.remove(&shard) {
+                groups.push((shard, Payload::inline(t)));
+            }
+        }
+        Payload::sharded(groups)
+    }
+}
+
+impl<M: Mempool> Mempool for ShardedMempool<M> {
+    type Msg = ShardedMsg<M::Msg>;
+
+    fn on_client_txs(
+        &mut self,
+        now: SimTime,
+        txs: Vec<Transaction>,
+        rng: &mut SmallRng,
+    ) -> Effects<Self::Msg> {
+        let mut out = Effects::none();
+        for (shard, group) in self.router.partition(txs) {
+            let fx = self.shards[shard].on_client_txs(now, group, rng);
+            out.merge(self.lift(shard as u16, fx));
+        }
+        out
+    }
+
+    fn on_message(
+        &mut self,
+        now: SimTime,
+        from: ReplicaId,
+        msg: Self::Msg,
+        rng: &mut SmallRng,
+    ) -> Effects<Self::Msg> {
+        let shard = msg.shard;
+        if shard as usize >= self.shards.len() {
+            // A peer with a different shard count is misconfigured (or
+            // Byzantine); drop the message rather than panic.
+            return Effects::none();
+        }
+        let fx = self.shards[shard as usize].on_message(now, from, msg.inner, rng);
+        self.lift(shard, fx)
+    }
+
+    fn on_timer(&mut self, now: SimTime, tag: TimerTag, rng: &mut SmallRng) -> Effects<Self::Msg> {
+        match self.mux.fire(tag) {
+            Some((shard, inner)) => {
+                let fx = self.shards[shard as usize].on_timer(now, inner, rng);
+                self.lift(shard, fx)
+            }
+            None => Effects::none(),
+        }
+    }
+
+    fn make_payload(&mut self, now: SimTime) -> Payload {
+        if self.shards.len() == 1 && self.carry.is_empty() {
+            // Transparent fast path: one shard proposes exactly what the
+            // unwrapped backend would.
+            return self.shards[0].make_payload(now);
+        }
+        let items = self.drain_shards(now);
+        self.assemble(items)
+    }
+
+    fn on_proposal(
+        &mut self,
+        now: SimTime,
+        proposal: &Proposal,
+        rng: &mut SmallRng,
+    ) -> (FillStatus, Effects<Self::Msg>) {
+        self.prune_carry(proposal);
+        match &proposal.payload {
+            Payload::Sharded(groups) => {
+                let mut out = Effects::none();
+                let mut missing = Vec::new();
+                let mut waiting: HashSet<u16> = HashSet::new();
+                for (shard, sub) in groups {
+                    if *shard as usize >= self.shards.len() {
+                        return (FillStatus::Invalid("unknown shard in proposal"), out);
+                    }
+                    let sub_prop = Self::sub_proposal(proposal, sub.clone());
+                    let (status, fx) =
+                        self.shards[*shard as usize].on_proposal(now, &sub_prop, rng);
+                    out.merge(self.lift(*shard, fx));
+                    match status {
+                        FillStatus::Ready => {}
+                        FillStatus::MustWait(ids) => {
+                            missing.extend(ids);
+                            waiting.insert(*shard);
+                        }
+                        FillStatus::Invalid(reason) => {
+                            return (FillStatus::Invalid(reason), out);
+                        }
+                    }
+                }
+                if waiting.is_empty() {
+                    (FillStatus::Ready, out)
+                } else {
+                    self.pending_fills.insert(proposal.id, waiting);
+                    (FillStatus::MustWait(missing), out)
+                }
+            }
+            // Empty / inline / single-shard payloads belong to shard 0.
+            _ => {
+                let (status, fx) = self.shards[0].on_proposal(now, proposal, rng);
+                if matches!(status, FillStatus::MustWait(_)) {
+                    self.pending_fills
+                        .insert(proposal.id, HashSet::from([0u16]));
+                }
+                let out = self.lift(0, fx);
+                (status, out)
+            }
+        }
+    }
+
+    fn on_commit(&mut self, now: SimTime, proposal: &Proposal) -> Effects<Self::Msg> {
+        self.pending_fills.remove(&proposal.id);
+        self.prune_carry(proposal);
+        match &proposal.payload {
+            Payload::Sharded(groups) => {
+                let mut out = Effects::none();
+                for (shard, sub) in groups {
+                    if *shard as usize >= self.shards.len() {
+                        continue;
+                    }
+                    let sub_prop = Self::sub_proposal(proposal, sub.clone());
+                    let fx = self.shards[*shard as usize].on_commit(now, &sub_prop);
+                    out.merge(self.lift(*shard, fx));
+                }
+                out
+            }
+            _ => {
+                let fx = self.shards[0].on_commit(now, proposal);
+                self.lift(0, fx)
+            }
+        }
+    }
+
+    fn stats(&self) -> MempoolStats {
+        let mut total = MempoolStats::default();
+        for s in &self.shards {
+            let st = s.stats();
+            total.unbatched_txs += st.unbatched_txs;
+            total.stored_microblocks += st.stored_microblocks;
+            total.proposable_microblocks += st.proposable_microblocks;
+            total.created_microblocks += st.created_microblocks;
+            total.forwarded_microblocks += st.forwarded_microblocks;
+            total.fetches_issued += st.fetches_issued;
+        }
+        total
+    }
+}

@@ -1,0 +1,128 @@
+//! Deterministic transaction-to-shard routing.
+
+use smp_types::{Transaction, TxId};
+
+/// Routes transactions to dissemination shards by id hash.
+///
+/// Every replica constructs the router with the same shard count, so the
+/// assignment is globally consistent without coordination: a transaction
+/// entering the system anywhere always lands in the same shard, which
+/// keeps per-shard content disjoint and lets availability proofs /
+/// fetches stay within one shard's pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShardRouter {
+    shards: usize,
+}
+
+impl ShardRouter {
+    /// A router over `shards` shards (clamped to at least 1).
+    pub fn new(shards: usize) -> Self {
+        ShardRouter {
+            shards: shards.max(1),
+        }
+    }
+
+    /// Number of shards routed over.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// The shard a transaction id belongs to.
+    ///
+    /// Transaction ids are content-derived digests, but their words are
+    /// remixed here so the assignment stays uniform even if the digest
+    /// itself had structure (and so shard routing is independent of any
+    /// other use of the id bits).
+    pub fn shard_of(&self, id: &TxId) -> usize {
+        if self.shards == 1 {
+            return 0;
+        }
+        let mut x = id.0 .0[0] ^ id.0 .0[2].rotate_left(32);
+        // splitmix64 finalizer.
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        x ^= x >> 31;
+        (x % self.shards as u64) as usize
+    }
+
+    /// The shard a transaction belongs to.
+    pub fn shard_of_tx(&self, tx: &Transaction) -> usize {
+        self.shard_of(&tx.id)
+    }
+
+    /// Partitions a batch of transactions into per-shard groups,
+    /// preserving arrival order within each shard.  Only non-empty groups
+    /// are returned.
+    pub fn partition(&self, txs: Vec<Transaction>) -> Vec<(usize, Vec<Transaction>)> {
+        if self.shards == 1 {
+            return if txs.is_empty() {
+                Vec::new()
+            } else {
+                vec![(0, txs)]
+            };
+        }
+        let mut groups: Vec<Vec<Transaction>> = (0..self.shards).map(|_| Vec::new()).collect();
+        for tx in txs {
+            let shard = self.shard_of_tx(&tx);
+            groups[shard].push(tx);
+        }
+        groups
+            .into_iter()
+            .enumerate()
+            .filter(|(_, g)| !g.is_empty())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use smp_types::ClientId;
+
+    fn tx(client: u32, seq: u64) -> Transaction {
+        Transaction::synthetic(ClientId(client), seq, 128, 0)
+    }
+
+    #[test]
+    fn single_shard_routes_everything_to_zero() {
+        let r = ShardRouter::new(1);
+        for seq in 0..100 {
+            assert_eq!(r.shard_of_tx(&tx(0, seq)), 0);
+        }
+    }
+
+    #[test]
+    fn routing_is_deterministic_and_in_range() {
+        let r = ShardRouter::new(4);
+        for seq in 0..1000 {
+            let t = tx(seq as u32 % 7, seq);
+            let s = r.shard_of_tx(&t);
+            assert!(s < 4);
+            assert_eq!(s, r.shard_of_tx(&t), "same tx must route to the same shard");
+        }
+    }
+
+    #[test]
+    fn partition_preserves_order_within_shards() {
+        let r = ShardRouter::new(3);
+        let txs: Vec<Transaction> = (0..300).map(|i| tx(1, i)).collect();
+        let groups = r.partition(txs.clone());
+        let total: usize = groups.iter().map(|(_, g)| g.len()).sum();
+        assert_eq!(total, 300);
+        for (shard, group) in &groups {
+            let mut last_seq = None;
+            for t in group {
+                assert_eq!(r.shard_of_tx(t), *shard);
+                if let Some(prev) = last_seq {
+                    assert!(t.seq > prev, "arrival order must be preserved");
+                }
+                last_seq = Some(t.seq);
+            }
+        }
+    }
+
+    #[test]
+    fn zero_shards_clamps_to_one() {
+        assert_eq!(ShardRouter::new(0).shards(), 1);
+    }
+}

@@ -20,9 +20,18 @@ pub struct TimerHandle(pub(crate) u64);
 /// An action recorded by a handler.
 #[derive(Debug)]
 pub(crate) enum Action<M> {
-    Send { to: ReplicaId, msg: M },
-    SetTimer { at: SimTime, timer_id: u64, tag: TimerTag },
-    CancelTimer { timer_id: u64 },
+    Send {
+        to: ReplicaId,
+        msg: M,
+    },
+    SetTimer {
+        at: SimTime,
+        timer_id: u64,
+        tag: TimerTag,
+    },
+    CancelTimer {
+        timer_id: u64,
+    },
     Observe(Observation),
 }
 
@@ -90,18 +99,27 @@ impl<'a, M> NodeCtx<'a, M> {
     pub fn set_timer(&mut self, delay: SimTime, tag: TimerTag) -> TimerHandle {
         let timer_id = *self.next_timer_id;
         *self.next_timer_id += 1;
-        self.actions.push(Action::SetTimer { at: self.now.saturating_add(delay), timer_id, tag });
+        self.actions.push(Action::SetTimer {
+            at: self.now.saturating_add(delay),
+            timer_id,
+            tag,
+        });
         TimerHandle(timer_id)
     }
 
     /// Cancels a previously set timer (a no-op if it already fired).
     pub fn cancel_timer(&mut self, handle: TimerHandle) {
-        self.actions.push(Action::CancelTimer { timer_id: handle.0 });
+        self.actions
+            .push(Action::CancelTimer { timer_id: handle.0 });
     }
 
     /// Emits an observation into the simulation's observation log.
     pub fn observe(&mut self, kind: ObsKind) {
-        self.actions.push(Action::Observe(Observation { time: self.now, node: self.id, kind }));
+        self.actions.push(Action::Observe(Observation {
+            time: self.now,
+            node: self.id,
+            kind,
+        }));
     }
 }
 
@@ -115,7 +133,14 @@ mod tests {
         rng: &'a mut SmallRng,
         next_timer: &'a mut u64,
     ) -> NodeCtx<'a, u32> {
-        NodeCtx { id: ReplicaId(1), n: 4, now: 500, rng, actions, next_timer_id: next_timer }
+        NodeCtx {
+            id: ReplicaId(1),
+            n: 4,
+            now: 500,
+            rng,
+            actions,
+            next_timer_id: next_timer,
+        }
     }
 
     #[test]
@@ -145,10 +170,7 @@ mod tests {
         let h2 = ctx.set_timer(200, 2);
         assert_ne!(h1, h2);
         match (&actions[0], &actions[1]) {
-            (
-                Action::SetTimer { at: a1, .. },
-                Action::SetTimer { at: a2, .. },
-            ) => {
+            (Action::SetTimer { at: a1, .. }, Action::SetTimer { at: a2, .. }) => {
                 assert_eq!(*a1, 600);
                 assert_eq!(*a2, 700);
             }
@@ -172,7 +194,10 @@ mod tests {
         let mut rng = SmallRng::seed_from_u64(0);
         let mut next = 0;
         let mut ctx = ctx_with(&mut actions, &mut rng, &mut next);
-        ctx.observe(ObsKind::Custom { label: "x", value: 1.0 });
+        ctx.observe(ObsKind::Custom {
+            label: "x",
+            value: 1.0,
+        });
         match &actions[0] {
             Action::Observe(o) => {
                 assert_eq!(o.node, ReplicaId(1));

@@ -103,7 +103,11 @@ impl<M> OutboundLink<M> {
 
     /// Bytes waiting in the queue (excluding the in-flight message).
     pub fn queued_bytes(&self) -> usize {
-        self.high.iter().chain(self.normal.iter()).map(|m| m.bytes).sum()
+        self.high
+            .iter()
+            .chain(self.normal.iter())
+            .map(|m| m.bytes)
+            .sum()
     }
 }
 
@@ -112,7 +116,12 @@ mod tests {
     use super::*;
 
     fn qm(to: u32, bytes: usize) -> QueuedMessage<&'static str> {
-        QueuedMessage { to: ReplicaId(to), msg: "m", bytes, enqueued_at: 0 }
+        QueuedMessage {
+            to: ReplicaId(to),
+            msg: "m",
+            bytes,
+            enqueued_at: 0,
+        }
     }
 
     #[test]
@@ -134,7 +143,11 @@ mod tests {
         link.enqueue(qm(1, 10_000), Priority::Normal);
         link.enqueue(qm(2, 100), Priority::High);
         let first = link.start_next().unwrap();
-        assert_eq!(first.to, ReplicaId(2), "high-priority message should jump the queue");
+        assert_eq!(
+            first.to,
+            ReplicaId(2),
+            "high-priority message should jump the queue"
+        );
     }
 
     #[test]

@@ -1,8 +1,8 @@
 //! Network environment model: bandwidth, latency, jitter, fault windows.
 
 use rand::Rng;
-use smp_types::{NetworkPreset, ReplicaId, SimTime};
 use serde::{Deserialize, Serialize};
+use smp_types::{NetworkPreset, ReplicaId, SimTime};
 
 /// A window of simulated time during which inter-replica delays are
 /// replaced by a (usually much larger) uniformly random delay.
@@ -119,10 +119,18 @@ impl NetConfig {
         }
         if let Some(w) = self.fault_windows.iter().find(|w| w.contains(now)) {
             let span = w.max_delay_us.saturating_sub(w.min_delay_us);
-            let extra = if span == 0 { 0 } else { rng.gen_range(0..=span) };
+            let extra = if span == 0 {
+                0
+            } else {
+                rng.gen_range(0..=span)
+            };
             return w.min_delay_us + extra;
         }
-        let jitter = if self.jitter_us == 0 { 0 } else { rng.gen_range(0..=self.jitter_us) };
+        let jitter = if self.jitter_us == 0 {
+            0
+        } else {
+            rng.gen_range(0..=self.jitter_us)
+        };
         self.one_way_delay_us + jitter
     }
 }
@@ -157,7 +165,9 @@ mod tests {
         let cfg = NetConfig::wan().with_bandwidth_override(ReplicaId(3), 10_000_000);
         assert_eq!(cfg.bandwidth_of(ReplicaId(3)), 10_000_000);
         assert_eq!(cfg.bandwidth_of(ReplicaId(4)), 100_000_000);
-        assert!(cfg.serialization_us(ReplicaId(3), 1000) > cfg.serialization_us(ReplicaId(4), 1000));
+        assert!(
+            cfg.serialization_us(ReplicaId(3), 1000) > cfg.serialization_us(ReplicaId(4), 1000)
+        );
     }
 
     #[test]
@@ -181,12 +191,20 @@ mod tests {
     fn loopback_is_instant() {
         let cfg = NetConfig::lan();
         let mut rng = SmallRng::seed_from_u64(1);
-        assert_eq!(cfg.propagation_us(ReplicaId(2), ReplicaId(2), 0, &mut rng), 1);
+        assert_eq!(
+            cfg.propagation_us(ReplicaId(2), ReplicaId(2), 0, &mut rng),
+            1
+        );
     }
 
     #[test]
     fn fault_window_bounds_are_half_open() {
-        let w = FaultWindow { start: 10, end: 20, min_delay_us: 1, max_delay_us: 2 };
+        let w = FaultWindow {
+            start: 10,
+            end: 20,
+            min_delay_us: 1,
+            max_delay_us: 2,
+        };
         assert!(!w.contains(9));
         assert!(w.contains(10));
         assert!(w.contains(19));

@@ -61,7 +61,9 @@ pub struct ObservationLog {
 impl ObservationLog {
     /// Creates an empty log.
     pub fn new() -> Self {
-        ObservationLog { entries: Vec::new() }
+        ObservationLog {
+            entries: Vec::new(),
+        }
     }
 
     /// Appends an observation.
@@ -136,7 +138,12 @@ impl ObservationLog {
             if node.is_some_and(|n| o.node != n) {
                 continue;
             }
-            if let ObsKind::Committed { latency_sum_us, latency_count, .. } = o.kind {
+            if let ObsKind::Committed {
+                latency_sum_us,
+                latency_count,
+                ..
+            } = o.kind
+            {
                 sum += latency_sum_us;
                 count += latency_count as u64;
             }
@@ -153,7 +160,11 @@ mod tests {
         Observation {
             time,
             node: ReplicaId(node),
-            kind: ObsKind::Committed { txs, latency_sum_us: txs as u64 * 1000, latency_count: txs },
+            kind: ObsKind::Committed {
+                txs,
+                latency_sum_us: txs as u64 * 1000,
+                latency_count: txs,
+            },
         }
     }
 
@@ -182,8 +193,16 @@ mod tests {
     #[test]
     fn view_changes_are_counted() {
         let mut log = ObservationLog::new();
-        log.push(Observation { time: 5, node: ReplicaId(0), kind: ObsKind::ViewChange { view: 1 } });
-        log.push(Observation { time: 9, node: ReplicaId(1), kind: ObsKind::ViewChange { view: 2 } });
+        log.push(Observation {
+            time: 5,
+            node: ReplicaId(0),
+            kind: ObsKind::ViewChange { view: 1 },
+        });
+        log.push(Observation {
+            time: 9,
+            node: ReplicaId(1),
+            kind: ObsKind::ViewChange { view: 2 },
+        });
         assert_eq!(log.view_changes(None), 2);
         assert_eq!(log.view_changes(Some(ReplicaId(1))), 1);
     }

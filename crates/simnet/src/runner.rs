@@ -57,7 +57,11 @@ impl TrafficStats {
 
     /// Total outbound bytes sent by `node`.
     pub fn total_bytes(&self, node: ReplicaId) -> u64 {
-        self.bytes.iter().filter(|((n, _), _)| *n == node.0).map(|(_, v)| *v).sum()
+        self.bytes
+            .iter()
+            .filter(|((n, _), _)| *n == node.0)
+            .map(|(_, v)| *v)
+            .sum()
     }
 
     /// Total outbound bytes across all nodes, grouped by kind.
@@ -76,7 +80,11 @@ impl TrafficStats {
 
     /// Total messages of `kind` sent by all nodes.
     pub fn total_messages_of_kind(&self, kind: &'static str) -> u64 {
-        self.messages.iter().filter(|((_, k), _)| *k == kind).map(|(_, v)| *v).sum()
+        self.messages
+            .iter()
+            .filter(|((_, k), _)| *k == kind)
+            .map(|(_, v)| *v)
+            .sum()
     }
 }
 
@@ -171,7 +179,14 @@ impl<N: Node> Simulation<N> {
 
     /// Schedules external (client) input to arrive at `to` at time `at`.
     pub fn schedule_client_input(&mut self, at: SimTime, to: ReplicaId, msg: N::Msg) {
-        self.queue.push(at, EventKind::Deliver { to, from: None, msg });
+        self.queue.push(
+            at,
+            EventKind::Deliver {
+                to,
+                from: None,
+                msg,
+            },
+        );
     }
 
     /// Runs the simulation until simulated time `until` (inclusive of
@@ -192,7 +207,11 @@ impl<N: Node> Simulation<N> {
             self.events_processed += 1;
             match event.kind {
                 EventKind::Deliver { to, from, msg } => self.handle_delivery(to, from, msg),
-                EventKind::Timer { node, timer_id, tag } => {
+                EventKind::Timer {
+                    node,
+                    timer_id,
+                    tag,
+                } => {
                     if self.cancelled_timers.remove(&timer_id) {
                         continue;
                     }
@@ -219,7 +238,8 @@ impl<N: Node> Simulation<N> {
         // messages, defer this delivery until its CPU frees up.
         let cpu_free = self.cpu_free[idx];
         if cpu_free > self.now {
-            self.queue.push(cpu_free, EventKind::Deliver { to, from, msg });
+            self.queue
+                .push(cpu_free, EventKind::Deliver { to, from, msg });
             return;
         }
         let cost = (msg.cpu_cost_us() / self.net.cpu_speed.max(1e-9)).ceil() as SimTime;
@@ -261,7 +281,14 @@ impl<N: Node> Simulation<N> {
         match action {
             Action::Send { to, msg } => self.send_message(sender, to, msg),
             Action::SetTimer { at, timer_id, tag } => {
-                self.queue.push(at, EventKind::Timer { node: sender, timer_id, tag });
+                self.queue.push(
+                    at,
+                    EventKind::Timer {
+                        node: sender,
+                        timer_id,
+                        tag,
+                    },
+                );
             }
             Action::CancelTimer { timer_id } => {
                 self.cancelled_timers.insert(timer_id);
@@ -279,12 +306,31 @@ impl<N: Node> Simulation<N> {
         self.traffic.record(from, msg.kind(), bytes);
         if from == to {
             // Loopback: no NIC serialization, negligible delay.
-            self.queue.push(self.now + 1, EventKind::Deliver { to, from: Some(from), msg });
+            self.queue.push(
+                self.now + 1,
+                EventKind::Deliver {
+                    to,
+                    from: Some(from),
+                    msg,
+                },
+            );
             return;
         }
-        let priority = if msg.high_priority() { Priority::High } else { Priority::Normal };
+        let priority = if msg.high_priority() {
+            Priority::High
+        } else {
+            Priority::Normal
+        };
         let link = &mut self.links[from.index()];
-        link.enqueue(QueuedMessage { to, msg, bytes, enqueued_at: self.now }, priority);
+        link.enqueue(
+            QueuedMessage {
+                to,
+                msg,
+                bytes,
+                enqueued_at: self.now,
+            },
+            priority,
+        );
         if !link.is_busy() {
             self.pump_link(from);
         }
@@ -299,10 +345,16 @@ impl<N: Node> Simulation<N> {
         let ser = self.net.serialization_us(node, item.bytes);
         let done = self.now + ser;
         self.queue.push(done, EventKind::LinkFree { node });
-        let prop = self.net.propagation_us(node, item.to, self.now, &mut self.rngs[idx]);
+        let prop = self
+            .net
+            .propagation_us(node, item.to, self.now, &mut self.rngs[idx]);
         self.queue.push(
             done + prop,
-            EventKind::Deliver { to: item.to, from: Some(node), msg: item.msg },
+            EventKind::Deliver {
+                to: item.to,
+                from: Some(node),
+                msg: item.msg,
+            },
         );
     }
 }
@@ -321,6 +373,7 @@ mod tests {
     use smp_types::MICROS_PER_MS;
 
     #[derive(Clone, Debug)]
+    #[allow(dead_code)]
     enum TestMsg {
         Small(u64),
         Big,
@@ -356,7 +409,11 @@ mod tests {
 
     impl Recorder {
         fn new(echo: bool) -> Self {
-            Recorder { received: Vec::new(), echo, timer_fired: Vec::new() }
+            Recorder {
+                received: Vec::new(),
+                echo,
+                timer_fired: Vec::new(),
+            }
         }
     }
 
@@ -369,7 +426,10 @@ mod tests {
         }
         fn on_message(&mut self, ctx: &mut NodeCtx<'_, TestMsg>, from: ReplicaId, msg: TestMsg) {
             self.received.push((ctx.now(), from, msg.kind()));
-            ctx.observe(ObsKind::Custom { label: "recv", value: 1.0 });
+            ctx.observe(ObsKind::Custom {
+                label: "recv",
+                value: 1.0,
+            });
         }
         fn on_timer(&mut self, _ctx: &mut NodeCtx<'_, TestMsg>, tag: TimerTag) {
             self.timer_fired.push(tag);
@@ -377,7 +437,11 @@ mod tests {
     }
 
     fn two_nodes(echo: bool) -> Simulation<Recorder> {
-        Simulation::new(vec![Recorder::new(echo), Recorder::new(false)], NetConfig::wan(), 7)
+        Simulation::new(
+            vec![Recorder::new(echo), Recorder::new(false)],
+            NetConfig::wan(),
+            7,
+        )
     }
 
     #[test]
@@ -390,7 +454,7 @@ mod tests {
         assert_eq!(from, ReplicaId(0));
         assert_eq!(kind, "small");
         // 100 B at 100 Mb/s is 8 us; one-way delay is 50 ms (+ up to 2 ms jitter).
-        assert!(t >= 50_000 && t <= 53_000, "arrival at {t}");
+        assert!((50_000..=53_000).contains(&t), "arrival at {t}");
     }
 
     #[test]
@@ -424,8 +488,14 @@ mod tests {
             fn on_timer(&mut self, _: &mut NodeCtx<'_, TestMsg>, _: TimerTag) {}
         }
         let nodes = vec![
-            Mixed { sender: true, received: Vec::new() },
-            Mixed { sender: false, received: Vec::new() },
+            Mixed {
+                sender: true,
+                received: Vec::new(),
+            },
+            Mixed {
+                sender: false,
+                received: Vec::new(),
+            },
         ];
         let mut sim = Simulation::new(nodes, NetConfig::wan(), 7);
         sim.run_until(MICROS_PER_MS * 400);
@@ -433,7 +503,10 @@ mod tests {
         assert_eq!(rec.len(), 2);
         // The big message serializes for 100 ms; the small one starts after.
         let small_arrival = rec.iter().find(|(_, k)| *k == "small").unwrap().0;
-        assert!(small_arrival >= 100_000 + 50_000, "small arrived at {small_arrival}");
+        assert!(
+            small_arrival >= 100_000 + 50_000,
+            "small arrived at {small_arrival}"
+        );
     }
 
     #[test]

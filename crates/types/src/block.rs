@@ -27,7 +27,11 @@ pub struct Block {
 impl Block {
     /// Assembles a block from a proposal and the resolved microblocks.
     pub fn assemble(proposal: Proposal, microblocks: Vec<Microblock>, filled_at: SimTime) -> Self {
-        Block { proposal, microblocks, filled_at }
+        Block {
+            proposal,
+            microblocks,
+            filled_at,
+        }
     }
 
     /// The block id (same as the proposal id).
@@ -36,13 +40,26 @@ impl Block {
     }
 
     /// Iterates over every transaction ordered by this block, whether it
-    /// was inline or referenced through microblocks.
+    /// was inline (directly or inside per-shard groups) or referenced
+    /// through microblocks.
     pub fn transactions(&self) -> impl Iterator<Item = &Transaction> {
-        let inline = match &self.proposal.payload {
-            Payload::Inline(txs) => txs.as_slice(),
-            _ => &[],
+        let inline: Vec<&Transaction> = match &self.proposal.payload {
+            Payload::Inline(txs) => txs.iter().collect(),
+            // Groups never nest (see `Payload::Sharded`), so one level of
+            // flattening collects every sharded inline transaction.
+            Payload::Sharded(groups) => groups
+                .iter()
+                .filter_map(|(_, p)| match p {
+                    Payload::Inline(txs) => Some(txs.iter()),
+                    _ => None,
+                })
+                .flatten()
+                .collect(),
+            _ => Vec::new(),
         };
-        inline.iter().chain(self.microblocks.iter().flat_map(|mb| mb.txs.iter()))
+        inline
+            .into_iter()
+            .chain(self.microblocks.iter().flat_map(|mb| mb.txs.iter()))
     }
 
     /// Number of transactions ordered by this block.
@@ -92,8 +109,10 @@ mod tests {
             2,
             BlockId::GENESIS,
             ReplicaId(0),
-            Payload::Refs(vec![MicroblockRef::unproven(mb1.id, mb1.creator, mb1.len() as u32),
-                MicroblockRef::unproven(mb2.id, mb2.creator, mb2.len() as u32),]),
+            Payload::Refs(vec![
+                MicroblockRef::unproven(mb1.id, mb1.creator, mb1.len() as u32),
+                MicroblockRef::unproven(mb2.id, mb2.creator, mb2.len() as u32),
+            ]),
             true,
         );
         let b = Block::assemble(p, vec![mb1, mb2], 20);
@@ -102,8 +121,43 @@ mod tests {
     }
 
     #[test]
+    fn sharded_block_counts_inline_txs_from_every_group() {
+        let mb = Microblock::seal(ReplicaId(1), txs(200, 2), 0);
+        let p = Proposal::new(
+            View(3),
+            3,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Sharded(vec![
+                (0, Payload::inline(txs(0, 3))),
+                (
+                    1,
+                    Payload::Refs(vec![MicroblockRef::unproven(
+                        mb.id,
+                        mb.creator,
+                        mb.len() as u32,
+                    )]),
+                ),
+                (2, Payload::inline(txs(100, 1))),
+            ]),
+            true,
+        );
+        let b = Block::assemble(p, vec![mb], 30);
+        // 3 + 1 sharded inline plus 2 from the referenced microblock.
+        assert_eq!(b.tx_count(), 6);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
     fn empty_block_is_empty() {
-        let p = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, false);
+        let p = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Empty,
+            false,
+        );
         let b = Block::assemble(p, vec![], 0);
         assert!(b.is_empty());
     }

@@ -45,7 +45,9 @@ impl NetworkPreset {
             NetworkPreset::Lan => 2 * MICROS_PER_MS,
             // 100 ms RTT => 50 ms one-way.
             NetworkPreset::Wan => 50 * MICROS_PER_MS,
-            NetworkPreset::Custom { one_way_delay_us, .. } => *one_way_delay_us,
+            NetworkPreset::Custom {
+                one_way_delay_us, ..
+            } => *one_way_delay_us,
         }
     }
 
@@ -75,6 +77,10 @@ pub struct MempoolConfig {
     pub max_refs_per_proposal: usize,
     /// Maximum number of inline transactions per native proposal.
     pub max_inline_txs_per_proposal: usize,
+    /// Byte budget for a cross-shard proposal payload assembled by
+    /// `smp-shard` (content that does not fit is carried over to the next
+    /// proposal).  Unsharded mempools do not consult this limit.
+    pub max_proposal_bytes: usize,
 }
 
 impl MempoolConfig {
@@ -92,6 +98,7 @@ impl Default for MempoolConfig {
             tx_payload_bytes: 128,
             max_refs_per_proposal: usize::MAX,
             max_inline_txs_per_proposal: 8_000,
+            max_proposal_bytes: 2 * 1024 * 1024,
         }
     }
 }
@@ -113,23 +120,38 @@ pub struct SystemConfig {
     pub mempool: MempoolConfig,
     /// View-change / pacemaker timeout.
     pub view_change_timeout: SimTime,
+    /// Number of shared-mempool dissemination shards per replica
+    /// (`smp-shard`).  `1` disables sharding and runs the backend mempool
+    /// unwrapped.
+    pub shards: usize,
 }
 
 impl SystemConfig {
     /// Creates a configuration for `n` replicas with the maximum tolerated
     /// number of Byzantine faults and defaults for everything else.
     pub fn new(n: usize) -> Self {
-        assert!(n >= 4, "BFT requires at least 4 replicas (N >= 3f + 1 with f >= 1)");
+        assert!(
+            n >= 4,
+            "BFT requires at least 4 replicas (N >= 3f + 1 with f >= 1)"
+        );
         let f = (n - 1) / 3;
         SystemConfig {
             n,
             f,
-            seed: 0x5374_7261_7475_73, // "Stratus"
+            seed: 0x53_7472_6174_7573, // "Stratus"
             pab_quorum: f + 1,
             network: NetworkPreset::Lan,
             mempool: MempoolConfig::default(),
             view_change_timeout: 1_000 * MICROS_PER_MS,
+            shards: 1,
         }
+    }
+
+    /// Sets the number of shared-mempool dissemination shards, clamped to
+    /// at least 1.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards.max(1);
+        self
     }
 
     /// Sets the network preset.
@@ -173,8 +195,8 @@ impl SystemConfig {
 
     /// Whether `N >= 3f + 1` holds for the configured values.
     pub fn is_valid(&self) -> bool {
-        self.n >= 3 * self.f + 1
-            && self.pab_quorum >= self.f + 1
+        self.n > 3 * self.f
+            && self.pab_quorum > self.f
             && self.pab_quorum <= 2 * self.f + 1
             && self.pab_quorum < self.n
     }

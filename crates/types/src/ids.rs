@@ -32,11 +32,15 @@ impl fmt::Display for ReplicaId {
 }
 
 /// Identifier of an external client issuing transactions.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct ClientId(pub u32);
 
 /// Content-derived identifier of a transaction.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct TxId(pub Digest);
 
 impl TxId {
@@ -51,7 +55,9 @@ impl TxId {
 }
 
 /// Content-derived identifier of a microblock (batch of transactions).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct MicroblockId(pub Digest);
 
 impl MicroblockId {
@@ -73,7 +79,9 @@ impl MicroblockId {
 }
 
 /// Identifier of a consensus block / proposal (hash of the header).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct BlockId(pub Digest);
 
 impl BlockId {
@@ -87,7 +95,9 @@ impl BlockId {
 }
 
 /// A consensus view (or round / epoch, depending on the protocol).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
 pub struct View(pub u64);
 
 impl View {

@@ -75,7 +75,9 @@ mod tests {
     use crate::wire::TX_OVERHEAD_BYTES;
 
     fn mk_txs(n: usize) -> Vec<Transaction> {
-        (0..n).map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0)).collect()
+        (0..n)
+            .map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0))
+            .collect()
     }
 
     #[test]
@@ -92,7 +94,10 @@ mod tests {
     #[test]
     fn wire_size_accounts_for_all_txs() {
         let mb = Microblock::seal(ReplicaId(0), mk_txs(10), 0);
-        assert_eq!(mb.wire_size(), MICROBLOCK_HEADER_BYTES + 10 * (TX_OVERHEAD_BYTES + 128));
+        assert_eq!(
+            mb.wire_size(),
+            MICROBLOCK_HEADER_BYTES + 10 * (TX_OVERHEAD_BYTES + 128)
+        );
         assert_eq!(mb.payload_bytes(), 1280);
         assert_eq!(mb.len(), 10);
         assert!(!mb.is_empty());

@@ -9,8 +9,8 @@ use crate::ids::{BlockId, MicroblockId, ReplicaId, View};
 use crate::transaction::Transaction;
 use crate::wire::{WireSize, PROPOSAL_HEADER_BYTES, QC_BYTES};
 use serde::{Deserialize, Serialize};
-use std::sync::Arc;
 use smp_crypto::{Digest, Hasher, QuorumProof};
+use std::sync::Arc;
 
 /// Reference to a microblock inside a shared-mempool proposal.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -32,12 +32,22 @@ pub struct MicroblockRef {
 impl MicroblockRef {
     /// A reference without an availability proof.
     pub fn unproven(id: MicroblockId, creator: ReplicaId, tx_count: u32) -> Self {
-        MicroblockRef { id, creator, tx_count, proof: None }
+        MicroblockRef {
+            id,
+            creator,
+            tx_count,
+            proof: None,
+        }
     }
 
     /// A reference with its availability proof.
     pub fn proven(id: MicroblockId, creator: ReplicaId, tx_count: u32, proof: QuorumProof) -> Self {
-        MicroblockRef { id, creator, tx_count, proof: Some(proof) }
+        MicroblockRef {
+            id,
+            creator,
+            tx_count,
+            proof: Some(proof),
+        }
     }
 }
 
@@ -56,15 +66,36 @@ pub enum Payload {
     Inline(Arc<Vec<Transaction>>),
     /// Microblock references (shared mempool; data already disseminated).
     Refs(Vec<MicroblockRef>),
+    /// Per-shard sub-payloads assembled by a sharded mempool
+    /// (`smp-shard`): each group carries the dissemination-shard index the
+    /// content belongs to, so the receiving replica can hand it to the
+    /// matching inner mempool instance.  Groups never nest.
+    Sharded(Vec<(u16, Payload)>),
     /// An empty proposal (used to keep chained protocols advancing when no
     /// transactions are pending).
     Empty,
 }
 
+/// Bytes each per-shard group contributes on the wire beyond its content
+/// (the shard index tag).
+pub const SHARD_GROUP_TAG_BYTES: usize = 2;
+
 impl Payload {
     /// Builds an inline payload from owned transactions.
     pub fn inline(txs: Vec<Transaction>) -> Self {
         Payload::Inline(Arc::new(txs))
+    }
+
+    /// Builds a sharded payload, dropping empty groups and collapsing the
+    /// degenerate cases (no content at all becomes [`Payload::Empty`]).
+    pub fn sharded(groups: Vec<(u16, Payload)>) -> Self {
+        let groups: Vec<(u16, Payload)> =
+            groups.into_iter().filter(|(_, p)| !p.is_empty()).collect();
+        if groups.is_empty() {
+            Payload::Empty
+        } else {
+            Payload::Sharded(groups)
+        }
     }
 
     /// Number of transactions directly countable from the payload.  For
@@ -73,6 +104,7 @@ impl Payload {
     pub fn inline_tx_count(&self) -> usize {
         match self {
             Payload::Inline(txs) => txs.len(),
+            Payload::Sharded(groups) => groups.iter().map(|(_, p)| p.inline_tx_count()).sum(),
             _ => 0,
         }
     }
@@ -81,6 +113,7 @@ impl Payload {
     pub fn ref_count(&self) -> usize {
         match self {
             Payload::Refs(refs) => refs.len(),
+            Payload::Sharded(groups) => groups.iter().map(|(_, p)| p.ref_count()).sum(),
             _ => 0,
         }
     }
@@ -90,6 +123,7 @@ impl Payload {
         match self {
             Payload::Inline(txs) => txs.is_empty(),
             Payload::Refs(refs) => refs.is_empty(),
+            Payload::Sharded(groups) => groups.iter().all(|(_, p)| p.is_empty()),
             Payload::Empty => true,
         }
     }
@@ -111,6 +145,13 @@ impl Payload {
                 }
             }
             Payload::Empty => h.update_u64(2),
+            Payload::Sharded(groups) => {
+                h.update_u64(3);
+                for (shard, p) in groups {
+                    h.update_u64(*shard as u64);
+                    h.update_digest(&p.root());
+                }
+            }
         }
         h.finalize()
     }
@@ -121,6 +162,10 @@ impl WireSize for Payload {
         match self {
             Payload::Inline(txs) => txs.iter().map(WireSize::wire_size).sum(),
             Payload::Refs(refs) => refs.iter().map(WireSize::wire_size).sum(),
+            Payload::Sharded(groups) => groups
+                .iter()
+                .map(|(_, p)| SHARD_GROUP_TAG_BYTES + p.wire_size())
+                .sum(),
             Payload::Empty => 0,
         }
     }
@@ -163,7 +208,15 @@ impl Proposal {
         h.update_u64(proposer.0 as u64);
         h.update_digest(&payload.root());
         let id = BlockId(h.finalize());
-        Proposal { view, height, id, parent, proposer, payload, carries_qc }
+        Proposal {
+            view,
+            height,
+            id,
+            parent,
+            proposer,
+            payload,
+            carries_qc,
+        }
     }
 }
 
@@ -181,7 +234,9 @@ mod tests {
     use crate::ids::ClientId;
 
     fn txs(n: usize) -> Vec<Transaction> {
-        (0..n).map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0)).collect()
+        (0..n)
+            .map(|i| Transaction::synthetic(ClientId(0), i as u64, 128, 0))
+            .collect()
     }
 
     #[test]
@@ -189,7 +244,9 @@ mod tests {
         let inline = Payload::inline(txs(1000));
         let refs = Payload::Refs(
             (0..10)
-                .map(|i| MicroblockRef::unproven(MicroblockId(Digest::of_u64(i)), ReplicaId(0), 100))
+                .map(|i| {
+                    MicroblockRef::unproven(MicroblockId(Digest::of_u64(i)), ReplicaId(0), 100)
+                })
                 .collect(),
         );
         assert!(inline.wire_size() > 50 * refs.wire_size());
@@ -206,19 +263,52 @@ mod tests {
 
     #[test]
     fn proposal_id_changes_with_view_and_payload() {
-        let p1 = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, true);
-        let p2 = Proposal::new(View(2), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, true);
-        let p3 =
-            Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::inline(txs(1)), true);
+        let p1 = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Empty,
+            true,
+        );
+        let p2 = Proposal::new(
+            View(2),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Empty,
+            true,
+        );
+        let p3 = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::inline(txs(1)),
+            true,
+        );
         assert_ne!(p1.id, p2.id);
         assert_ne!(p1.id, p3.id);
     }
 
     #[test]
     fn carries_qc_adds_header_bytes() {
-        let with = Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, true);
-        let without =
-            Proposal::new(View(1), 1, BlockId::GENESIS, ReplicaId(0), Payload::Empty, false);
+        let with = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Empty,
+            true,
+        );
+        let without = Proposal::new(
+            View(1),
+            1,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            Payload::Empty,
+            false,
+        );
         assert_eq!(with.wire_size(), without.wire_size() + QC_BYTES);
     }
 
@@ -227,7 +317,11 @@ mod tests {
         let inline = Payload::inline(txs(5));
         assert_eq!(inline.inline_tx_count(), 5);
         assert_eq!(inline.ref_count(), 0);
-        let refs = Payload::Refs(vec![MicroblockRef::unproven(MicroblockId(Digest::of_u64(1)), ReplicaId(0), 10)]);
+        let refs = Payload::Refs(vec![MicroblockRef::unproven(
+            MicroblockId(Digest::of_u64(1)),
+            ReplicaId(0),
+            10,
+        )]);
         assert_eq!(refs.inline_tx_count(), 0);
         assert_eq!(refs.ref_count(), 1);
         assert!(Payload::Empty.is_empty());

@@ -81,6 +81,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants, clippy::manual_range_contains)]
     fn vote_is_roughly_100_bytes() {
         assert!(VOTE_BYTES >= 90 && VOTE_BYTES <= 128);
     }

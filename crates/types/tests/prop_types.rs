@@ -55,15 +55,15 @@ proptest! {
     fn system_config_is_always_valid(n in 4usize..500) {
         let c = SystemConfig::new(n);
         prop_assert!(c.is_valid());
-        prop_assert!(c.n >= 3 * c.f + 1);
+        prop_assert!(c.n > 3 * c.f);
         // f is maximal: adding one more fault would violate the bound.
-        prop_assert!(c.n < 3 * (c.f + 1) + 1);
+        prop_assert!(c.n <= 3 * (c.f + 1));
     }
 
     #[test]
     fn pab_quorum_clamp_stays_in_range(n in 4usize..500, q in 0usize..2000) {
         let c = SystemConfig::new(n).with_pab_quorum(q);
-        prop_assert!(c.pab_quorum >= c.f + 1);
+        prop_assert!(c.pab_quorum > c.f);
         prop_assert!(c.pab_quorum <= 2 * c.f + 1);
     }
 }

@@ -29,12 +29,24 @@ pub struct WorkloadSpec {
 impl WorkloadSpec {
     /// An evenly spread workload at `total_rate_tps`.
     pub fn even(total_rate_tps: f64, payload_bytes: usize) -> Self {
-        WorkloadSpec { total_rate_tps, payload_bytes, distribution: LoadDistribution::Even }
+        WorkloadSpec {
+            total_rate_tps,
+            payload_bytes,
+            distribution: LoadDistribution::Even,
+        }
     }
 
     /// A skewed workload.
-    pub fn skewed(total_rate_tps: f64, payload_bytes: usize, distribution: LoadDistribution) -> Self {
-        WorkloadSpec { total_rate_tps, payload_bytes, distribution }
+    pub fn skewed(
+        total_rate_tps: f64,
+        payload_bytes: usize,
+        distribution: LoadDistribution,
+    ) -> Self {
+        WorkloadSpec {
+            total_rate_tps,
+            payload_bytes,
+            distribution,
+        }
     }
 
     /// Offered rate (tx/s) for replica `replica` in a system of `n`.
@@ -45,7 +57,11 @@ impl WorkloadSpec {
 
     /// Per-replica rates for the whole system.
     pub fn rates(&self, n: usize) -> Vec<f64> {
-        self.distribution.shares(n).into_iter().map(|s| s * self.total_rate_tps).collect()
+        self.distribution
+            .shares(n)
+            .into_iter()
+            .map(|s| s * self.total_rate_tps)
+            .collect()
     }
 
     /// Scales the total offered rate by `factor` (used by the saturation

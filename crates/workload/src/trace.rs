@@ -119,7 +119,11 @@ mod tests {
     use super::*;
 
     fn small_config() -> TraceConfig {
-        TraceConfig { samples_per_minute: 200, minutes: 60, ..TraceConfig::default() }
+        TraceConfig {
+            samples_per_minute: 200,
+            minutes: 60,
+            ..TraceConfig::default()
+        }
     }
 
     #[test]
@@ -152,7 +156,10 @@ mod tests {
         let t = DelayTrace::generate(small_config(), 2);
         let row = t.heatmap_row(0, 232, 244);
         assert_eq!(row.len(), 13);
-        assert_eq!(row.iter().sum::<u64>() as usize, t.config.samples_per_minute);
+        assert_eq!(
+            row.iter().sum::<u64>() as usize,
+            t.config.samples_per_minute
+        );
     }
 
     #[test]

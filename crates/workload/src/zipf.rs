@@ -26,7 +26,11 @@ impl ZipfWeights {
         assert!(v >= 1.0, "Zipf offset must be at least 1");
         let raw: Vec<f64> = (0..n).map(|k| 1.0 / (v + k as f64).powf(s)).collect();
         let sum: f64 = raw.iter().sum();
-        ZipfWeights { s, v, shares: raw.into_iter().map(|w| w / sum).collect() }
+        ZipfWeights {
+            s,
+            v,
+            shares: raw.into_iter().map(|w| w / sum).collect(),
+        }
     }
 
     /// The paper's highly skewed distribution, `Zipf1`.
@@ -85,8 +89,16 @@ mod tests {
         // ~19.6% of the load under Zipf1 and ~4.1% under Zipf10.
         let z1 = ZipfWeights::zipf1(100);
         let z10 = ZipfWeights::zipf10(100);
-        assert!((z1.share(0) - 0.196).abs() < 0.01, "zipf1 head share {}", z1.share(0));
-        assert!((z10.share(0) - 0.041).abs() < 0.01, "zipf10 head share {}", z10.share(0));
+        assert!(
+            (z1.share(0) - 0.196).abs() < 0.01,
+            "zipf1 head share {}",
+            z1.share(0)
+        );
+        assert!(
+            (z10.share(0) - 0.041).abs() < 0.01,
+            "zipf10 head share {}",
+            z10.share(0)
+        );
     }
 
     #[test]
@@ -101,13 +113,23 @@ mod tests {
 
     #[test]
     fn larger_networks_match_figure_10_heads() {
-        for (n, expected_z1, expected_z10) in
-            [(200, 0.173, 0.033), (300, 0.162, 0.029), (400, 0.156, 0.027)]
-        {
+        for (n, expected_z1, expected_z10) in [
+            (200, 0.173, 0.033),
+            (300, 0.162, 0.029),
+            (400, 0.156, 0.027),
+        ] {
             let z1 = ZipfWeights::zipf1(n);
             let z10 = ZipfWeights::zipf10(n);
-            assert!((z1.share(0) - expected_z1).abs() < 0.01, "n={n} z1 {}", z1.share(0));
-            assert!((z10.share(0) - expected_z10).abs() < 0.01, "n={n} z10 {}", z10.share(0));
+            assert!(
+                (z1.share(0) - expected_z1).abs() < 0.01,
+                "n={n} z1 {}",
+                z1.share(0)
+            );
+            assert!(
+                (z10.share(0) - expected_z10).abs() < 0.01,
+                "n={n} z10 {}",
+                z10.share(0)
+            );
         }
     }
 

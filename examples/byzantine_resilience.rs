@@ -34,7 +34,10 @@ fn main() {
         for r in [&smp, &stratus] {
             println!(
                 "{:<10} {:>6} {:>14.2} {:>14.1} {:>8}",
-                r.summary.label, byz, r.summary.throughput_ktps, r.summary.mean_latency_ms,
+                r.summary.label,
+                byz,
+                r.summary.throughput_ktps,
+                r.summary.mean_latency_ms,
                 r.view_changes
             );
         }

@@ -19,7 +19,10 @@ fn main() {
         .with_duration(1_000_000, 5_000_000)
         .with_distribution(LoadDistribution::zipf1());
 
-    println!("{:<22} {:>12} {:>14}", "configuration", "KTx/s", "latency ms");
+    println!(
+        "{:<22} {:>12} {:>14}",
+        "configuration", "KTx/s", "latency ms"
+    );
     // Simple shared mempool: the hot replica's outbound link is the bottleneck.
     let smp = run_experiment(
         &ExperimentConfig::new(Protocol::SmpHotStuff, n, rate)

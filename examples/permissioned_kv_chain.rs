@@ -18,9 +18,7 @@ use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use smp_consensus::{CDest, CEvent, ConsensusEngine, HotStuffEngine, ProposalVerdict};
 use smp_mempool::{Dest, Mempool, MempoolEvent};
-use smp_types::{
-    ClientId, MicroblockId, Payload, Proposal, ReplicaId, SystemConfig, Transaction,
-};
+use smp_types::{ClientId, MicroblockId, Payload, Proposal, ReplicaId, SystemConfig, Transaction};
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use stratus::{StratusConfig, StratusMempool, StratusMsg};
 
@@ -75,7 +73,8 @@ fn main() {
     for r in 0..N {
         let fx = {
             let node = &mut replicas[r];
-            node.mempool.on_timer(now, smp_mempool::BATCH_TIMEOUT_TAG, &mut node.rng)
+            node.mempool
+                .on_timer(now, smp_mempool::BATCH_TIMEOUT_TAG, &mut node.rng)
         };
         enqueue_mempool(r, fx, &mut replicas, &mut wire);
     }
@@ -93,14 +92,17 @@ fn main() {
         now += 50;
         match msg {
             Wire::Consensus(cm) => {
-                let fx = replicas[to].engine.on_message(now, ReplicaId(from as u32), cm);
+                let fx = replicas[to]
+                    .engine
+                    .on_message(now, ReplicaId(from as u32), cm);
                 apply_consensus(to, fx, &mut replicas, &mut wire, now);
             }
             Wire::Mempool(mm) => {
                 cache_commands(&mut replicas[to], &mm);
                 let fx = {
                     let r = &mut replicas[to];
-                    r.mempool.on_message(now, ReplicaId(from as u32), mm, &mut r.rng)
+                    r.mempool
+                        .on_message(now, ReplicaId(from as u32), mm, &mut r.rng)
                 };
                 handle_mempool_effects(to, fx, &mut replicas, &mut wire, now);
             }
@@ -124,7 +126,10 @@ fn main() {
     let consistent = replicas.iter().all(|r| &r.store == reference);
     println!("replica key-value stores identical: {consistent}");
     println!("sample: account-042 = {:?}", reference.get("account-042"));
-    assert!(replicas[0].applied_txs > 0, "the chain should have applied transactions");
+    assert!(
+        replicas[0].applied_txs > 0,
+        "the chain should have applied transactions"
+    );
 }
 
 /// Decodes and caches the commands carried by data-bearing messages so the
@@ -136,8 +141,11 @@ fn cache_commands(replica: &mut KvReplica, msg: &StratusMsg) {
         _ => return,
     };
     for mb in mbs {
-        let commands =
-            mb.txs.iter().map(|t| String::from_utf8_lossy(&t.payload).to_string()).collect();
+        let commands = mb
+            .txs
+            .iter()
+            .map(|t| String::from_utf8_lossy(&t.payload).to_string())
+            .collect();
         replica.mb_commands.insert(mb.id, commands);
     }
 }
@@ -180,7 +188,9 @@ fn apply_consensus(
         match dest {
             CDest::One(r) => {
                 if r.index() == at {
-                    let fx2 = replicas[at].engine.on_message(now, ReplicaId(at as u32), msg);
+                    let fx2 = replicas[at]
+                        .engine
+                        .on_message(now, ReplicaId(at as u32), msg);
                     apply_consensus(at, fx2, replicas, wire, now);
                 } else {
                     wire.push_back((at, r.index(), Wire::Consensus(msg)));
@@ -208,9 +218,14 @@ fn apply_consensus(
                     r.mempool.on_proposal(now, &proposal, &mut r.rng)
                 };
                 handle_mempool_effects(at, mfx, replicas, wire, now);
-                let verdict =
-                    if status.is_ready() { ProposalVerdict::Accept } else { ProposalVerdict::Reject };
-                let fx2 = replicas[at].engine.on_proposal_verdict(now, proposal.id, verdict);
+                let verdict = if status.is_ready() {
+                    ProposalVerdict::Accept
+                } else {
+                    ProposalVerdict::Reject
+                };
+                let fx2 = replicas[at]
+                    .engine
+                    .on_proposal_verdict(now, proposal.id, verdict);
                 apply_consensus(at, fx2, replicas, wire, now);
             }
             CEvent::Committed { proposal } => {
@@ -235,7 +250,9 @@ fn handle_mempool_effects(
     for ev in events {
         if let MempoolEvent::ProposalReady { proposal } = ev {
             let fx2 =
-                replicas[at].engine.on_proposal_verdict(now, proposal, ProposalVerdict::Accept);
+                replicas[at]
+                    .engine
+                    .on_proposal_verdict(now, proposal, ProposalVerdict::Accept);
             apply_consensus(at, fx2, replicas, wire, now);
         }
     }
@@ -260,7 +277,9 @@ fn apply_committed(at: usize, proposal: &Proposal, replicas: &mut [KvReplica]) {
                 }
             }
         }
-        Payload::Empty => {}
+        // This example runs an unsharded Stratus mempool, so sharded
+        // payloads never appear.
+        Payload::Sharded(_) | Payload::Empty => {}
     }
 }
 

@@ -13,7 +13,11 @@ fn main() {
     let config = ExperimentConfig::new(Protocol::StratusHotStuff, 4, 20_000.0)
         .with_duration(1_000_000, 5_000_000); // 1 s warm-up + 5 s measurement
 
-    println!("running {} with n = {} ...", config.protocol.label(), config.n);
+    println!(
+        "running {} with n = {} ...",
+        config.protocol.label(),
+        config.n
+    );
     let result = run_experiment(&config);
 
     println!("\n== {} ==", config.protocol.description());

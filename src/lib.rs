@@ -31,6 +31,7 @@ pub use smp_crypto as crypto;
 pub use smp_mempool as mempool;
 pub use smp_metrics as metrics;
 pub use smp_replica as replica;
+pub use smp_shard as shard;
 pub use smp_types as types;
 pub use smp_workload as workload;
 pub use stratus;
@@ -45,6 +46,7 @@ pub mod prelude {
     pub use smp_replica::{
         saturation_sweep, Behavior, ExperimentConfig, ExperimentResult, Protocol, Replica,
     };
+    pub use smp_shard::{ShardRouter, ShardedMempool, ShardedMsg};
     pub use smp_types::{
         MempoolConfig, NetworkPreset, Payload, Proposal, ReplicaId, SystemConfig, Transaction, View,
     };

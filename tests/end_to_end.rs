@@ -31,11 +31,12 @@ fn every_protocol_of_table_ii_commits_transactions() {
 
 #[test]
 fn shared_mempool_beats_native_hotstuff_at_moderate_scale() {
-    // At 16 replicas in a LAN, the leader bottleneck already separates
-    // native HotStuff from the shared-mempool designs (Figure 7's shape).
-    let rate = 40_000.0;
-    let native = run_experiment(&quick(Protocol::NativeHotStuff, 16, rate));
-    let stratus = run_experiment(&quick(Protocol::StratusHotStuff, 16, rate));
+    // At 16 replicas in the 100 Mb/s WAN environment, the leader
+    // bandwidth bottleneck separates native HotStuff from the
+    // shared-mempool designs (Figure 7's regional setting).
+    let rate = 12_000.0;
+    let native = run_experiment(&quick(Protocol::NativeHotStuff, 16, rate).wan());
+    let stratus = run_experiment(&quick(Protocol::StratusHotStuff, 16, rate).wan());
     assert!(
         stratus.summary.throughput_ktps > native.summary.throughput_ktps,
         "S-HS ({:.1} KTx/s) should beat N-HS ({:.1} KTx/s) at n=16",
@@ -51,8 +52,7 @@ fn stratus_tolerates_byzantine_senders_better_than_smp() {
     let byz = 3;
     let smp = run_experiment(&quick(Protocol::SmpHotStuff, n, rate).with_byzantine(byz, 0));
     let q = (n - 1) / 3 + 1;
-    let stratus =
-        run_experiment(&quick(Protocol::StratusHotStuff, n, rate).with_byzantine(byz, q));
+    let stratus = run_experiment(&quick(Protocol::StratusHotStuff, n, rate).with_byzantine(byz, q));
     // At this moderate (non-saturating) load both protocols keep up with the
     // offered rate; the damage shows up as commit latency, because SMP-HS
     // must fetch the censored microblocks from the leader before it can
@@ -91,10 +91,17 @@ fn network_fluctuation_does_not_stall_stratus() {
         .with_duration(500_000, 3_000_000)
         .with_fault_window(window);
     let result = run_experiment(&cfg);
-    assert!(result.committed_txs > 0, "Stratus should keep committing through the fluctuation");
+    assert!(
+        result.committed_txs > 0,
+        "Stratus should keep committing through the fluctuation"
+    );
     // Throughput resumes after the window: the last series bucket is nonzero.
     let tail: f64 = result.throughput_series.iter().rev().take(1).sum();
-    assert!(tail > 0.0, "no commits after the fluctuation window: {:?}", result.throughput_series);
+    assert!(
+        tail > 0.0,
+        "no commits after the fluctuation window: {:?}",
+        result.throughput_series
+    );
 }
 
 #[test]
@@ -120,8 +127,12 @@ fn skewed_load_benefits_from_dlb() {
 fn bandwidth_breakdown_reports_proposals_and_votes() {
     let result = run_experiment(&quick(Protocol::StratusHotStuff, 7, 4_000.0));
     let rows = result.bandwidth.rows();
-    assert!(rows.iter().any(|(role, kind, _)| role == "leader" && kind == "proposal"));
-    assert!(rows.iter().any(|(role, kind, mbps)| role == "non-leader" && kind == "microblock" && *mbps >= 0.0));
+    assert!(rows
+        .iter()
+        .any(|(role, kind, _)| role == "leader" && kind == "proposal"));
+    assert!(rows
+        .iter()
+        .any(|(role, kind, mbps)| role == "non-leader" && kind == "microblock" && *mbps >= 0.0));
 }
 
 #[test]

@@ -1,0 +1,212 @@
+//! Minimal stand-in for `criterion`.
+//!
+//! Implements the benchmarking API subset this workspace's benches use
+//! (`Criterion`, benchmark groups, `BenchmarkId`, `Bencher::iter`, the
+//! `criterion_group!` / `criterion_main!` macros) with a simple
+//! wall-clock measurement loop: a short warm-up followed by timed batches,
+//! reporting the mean time per iteration. No statistics, plots, or saved
+//! baselines — output is one line per benchmark on stdout.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Target measurement time per benchmark.
+const MEASURE_TARGET: Duration = Duration::from_millis(300);
+/// Warm-up time per benchmark.
+const WARMUP_TARGET: Duration = Duration::from_millis(60);
+
+/// Identifier combining a function name and a parameter value.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `function_name/parameter`.
+    pub fn new<P: Display>(function_name: &str, parameter: P) -> Self {
+        BenchmarkId {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter value.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Runs closures and measures their execution time.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, recorded by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters_done: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running it repeatedly in batches until the
+    /// measurement target is reached.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP_TARGET {
+            std_black_box(routine());
+            warm_iters += 1;
+            if warm_iters >= 1_000_000 {
+                break;
+            }
+        }
+        // Measure in growing batches.
+        let mut total_iters: u64 = 0;
+        let mut total_time = Duration::ZERO;
+        let mut batch: u64 = 1;
+        while total_time < MEASURE_TARGET {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std_black_box(routine());
+            }
+            total_time += start.elapsed();
+            total_iters += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+        self.ns_per_iter = total_time.as_nanos() as f64 / total_iters.max(1) as f64;
+        self.iters_done = total_iters;
+    }
+}
+
+fn report(name: &str, bencher: &Bencher) {
+    let ns = bencher.ns_per_iter;
+    let (value, unit) = if ns >= 1e9 {
+        (ns / 1e9, "s")
+    } else if ns >= 1e6 {
+        (ns / 1e6, "ms")
+    } else if ns >= 1e3 {
+        (ns / 1e3, "µs")
+    } else {
+        (ns, "ns")
+    };
+    println!(
+        "{name:<60} time: {value:>10.3} {unit}/iter ({} iters)",
+        bencher.iters_done
+    );
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API parity; this harness sizes
+    /// batches by time instead).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets the measurement time (accepted for API parity).
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters_done: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters_done: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.id), &b);
+        self
+    }
+
+    /// Ends the group (no-op; reports are printed eagerly).
+    pub fn finish(&mut self) {}
+}
+
+/// Benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters_done: 0,
+        };
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let name = name.to_string();
+        BenchmarkGroup {
+            name,
+            _criterion: self,
+        }
+    }
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+
+    #[test]
+    fn benchmark_ids_format() {
+        assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
+        assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+}

@@ -1,0 +1,8 @@
+//! Minimal stand-in for `serde`.
+//!
+//! The workspace annotates types with `#[derive(Serialize, Deserialize)]`
+//! but never serializes through serde at runtime, and the offline build
+//! environment cannot fetch the real crate. This shim re-exports no-op
+//! derive macros; `use serde::{Serialize, Deserialize}` resolves to them.
+
+pub use serde_derive::{Deserialize, Serialize};

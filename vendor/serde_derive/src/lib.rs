@@ -1,0 +1,21 @@
+//! No-op `Serialize` / `Deserialize` derive macros.
+//!
+//! The workspace derives serde traits purely as markers (nothing
+//! serializes through serde at runtime — results are rendered as plain
+//! text tables), and the offline build environment cannot fetch the real
+//! `serde_derive`. These derives accept the `#[serde(...)]` helper
+//! attribute and expand to an empty token stream.
+
+use proc_macro::TokenStream;
+
+/// Derives the marker `Serialize` impl (expands to nothing).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the marker `Deserialize` impl (expands to nothing).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
