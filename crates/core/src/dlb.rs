@@ -54,7 +54,14 @@ pub struct LoadBalancer {
     me: ReplicaId,
     n: usize,
     config: DlbConfig,
+    /// Peers this balancer banned itself (forwards in flight / timed
+    /// out).  Owned bans are lifted by `on_proof_received`.
     banlist: HashSet<ReplicaId>,
+    /// The coherent ban view imposed by a [`ShardLoadCoordinator`],
+    /// replaced wholesale on every `apply_ban_view`.  Kept separate from
+    /// the owned bans so a stale imposed view can never make an owned
+    /// ban permanent (or vice versa).
+    imposed: HashSet<ReplicaId>,
     samples: HashMap<u64, SampleRound>,
     forwards: HashMap<u64, PendingForward>,
     forwarded_by_id: HashMap<MicroblockId, u64>,
@@ -71,6 +78,7 @@ impl LoadBalancer {
             n,
             config,
             banlist: HashSet::new(),
+            imposed: HashSet::new(),
             samples: HashMap::new(),
             forwards: HashMap::new(),
             forwarded_by_id: HashMap::new(),
@@ -100,11 +108,48 @@ impl LoadBalancer {
         self.proxied_total += 1;
     }
 
-    /// Current banList contents (for tests / reporting).
+    /// Current effective banList contents — the union of owned and
+    /// imposed bans (for sampling, tests and reporting).
     pub fn banned(&self) -> Vec<ReplicaId> {
-        let mut v: Vec<ReplicaId> = self.banlist.iter().copied().collect();
+        let mut v: Vec<ReplicaId> = self.banlist.union(&self.imposed).copied().collect();
         v.sort();
         v
+    }
+
+    /// The bans this balancer created itself (forwards in flight or
+    /// timed out) — the contribution a [`ShardLoadCoordinator`] absorbs.
+    /// Imposed bans are excluded so absorbing after a sync cannot echo
+    /// the coordinator's own view back as fresh evidence.
+    pub fn own_banned(&self) -> HashSet<ReplicaId> {
+        self.banlist.clone()
+    }
+
+    /// Whether a peer is currently banned (owned or imposed).
+    pub fn is_banned(&self, peer: ReplicaId) -> bool {
+        self.banlist.contains(&peer) || self.imposed.contains(&peer)
+    }
+
+    /// Imposes a single ban (coordination input from a
+    /// [`ShardLoadCoordinator`], as opposed to the balancer's own
+    /// forward-in-flight bans).
+    pub fn ban(&mut self, peer: ReplicaId) {
+        if peer != self.me {
+            self.imposed.insert(peer);
+        }
+    }
+
+    /// Lifts an imposed ban (owned bans are lifted by the proof
+    /// round-trip, `on_proof_received`).
+    pub fn unban(&mut self, peer: ReplicaId) {
+        self.imposed.remove(&peer);
+    }
+
+    /// Replaces the imposed ban view with a coordinator-supplied
+    /// coherent one.  Owned bans are untouched: a proxy with an
+    /// outstanding forward from *this* balancer stays banned here even
+    /// if the coordinator's view lags.
+    pub fn apply_ban_view(&mut self, banned: &HashSet<ReplicaId>) {
+        self.imposed = banned.iter().copied().filter(|r| *r != self.me).collect();
     }
 
     /// Begins a sampling round for `mb`: returns the token and the peers
@@ -117,7 +162,7 @@ impl LoadBalancer {
     ) -> Option<(u64, Vec<ReplicaId>)> {
         let mut candidates: Vec<ReplicaId> = (0..self.n as u32)
             .map(ReplicaId)
-            .filter(|r| *r != self.me && !self.banlist.contains(r))
+            .filter(|r| *r != self.me && !self.is_banned(*r))
             .collect();
         if candidates.is_empty() {
             return None;
@@ -221,9 +266,11 @@ impl LoadBalancer {
         Some(pending.mb)
     }
 
-    /// Clears the banList (periodic reset, Algorithm 4 line 33).
+    /// Clears the banList — owned and imposed (periodic reset,
+    /// Algorithm 4 line 33).
     pub fn reset_banlist(&mut self) {
         self.banlist.clear();
+        self.imposed.clear();
     }
 
     /// The banList reset interval from the configuration.
@@ -239,6 +286,140 @@ impl LoadBalancer {
     /// The forward timeout `τ'`.
     pub fn forward_timeout(&self) -> SimTime {
         self.config.forward_timeout
+    }
+}
+
+/// Coordinates the per-shard [`LoadBalancer`]s of a sharded replica
+/// (`smp-shard`'s k dissemination pipelines) so DLB decisions are made
+/// from **aggregated** per-shard load samples rather than shard-local
+/// views.
+///
+/// Without coordination, shard `a` may ban proxy `P` (forward in flight)
+/// while shard `b` — which never sampled `P` — happily forwards to it
+/// too, defeating the banList's purpose of never loading one proxy
+/// twice concurrently.  The coordinator folds every shard's samples and
+/// bans into one view and pushes that view back into each shard:
+///
+/// 1. each shard records the `LbInfo` replies it observes via
+///    [`record`](Self::record),
+/// 2. after a shard's balancer acts, its local bans are pulled in via
+///    [`absorb`](Self::absorb),
+/// 3. [`sync`](Self::sync) imposes the merged ban view on every shard's
+///    balancer, so no shard disagrees on `banned()` membership,
+/// 4. [`choose_proxy`](Self::choose_proxy) picks a forward target from
+///    the *aggregated* load picture (worst case across shards — a peer
+///    that is busy on any pipeline is busy, period).
+///
+/// Synchronisation points are the caller's choice; the sharded executor
+/// merges shard outputs deterministically, so running steps 2–3 at those
+/// merge points keeps coordination deterministic under both the
+/// sequential and the parallel executor.
+#[derive(Clone, Debug, Default)]
+pub struct ShardLoadCoordinator {
+    /// Latest load sample per peer and shard (`None` = peer said busy).
+    samples: HashMap<ReplicaId, HashMap<u16, Option<SimTime>>>,
+    /// Each shard's own-ban contribution, **replaced** on every
+    /// [`absorb`](Self::absorb) so a ban lifted inside a shard (proof
+    /// returned) disappears from the merged view at the next round
+    /// instead of sticking forever.
+    shard_bans: HashMap<u16, HashSet<ReplicaId>>,
+    /// Bans imposed directly on the coordinator (operator / policy).
+    direct_bans: HashSet<ReplicaId>,
+}
+
+impl ShardLoadCoordinator {
+    /// An empty coordinator.
+    pub fn new() -> Self {
+        ShardLoadCoordinator::default()
+    }
+
+    /// Records the load status a shard observed for a peer.
+    pub fn record(&mut self, shard: u16, peer: ReplicaId, load: Option<SimTime>) {
+        self.samples.entry(peer).or_default().insert(shard, load);
+    }
+
+    fn merged_bans(&self) -> HashSet<ReplicaId> {
+        let mut merged = self.direct_bans.clone();
+        for bans in self.shard_bans.values() {
+            merged.extend(bans.iter().copied());
+        }
+        merged
+    }
+
+    /// The aggregated load of a peer across every shard that sampled it:
+    /// `None` if no shard has a sample, `Some(None)` if any shard saw it
+    /// busy, `Some(Some(w))` with the worst (largest) stable time
+    /// otherwise.
+    pub fn aggregated_load(&self, peer: ReplicaId) -> Option<Option<SimTime>> {
+        let per_shard = self.samples.get(&peer)?;
+        if per_shard.is_empty() {
+            return None;
+        }
+        let mut worst = 0;
+        for load in per_shard.values() {
+            match load {
+                None => return Some(None),
+                Some(w) => worst = worst.max(*w),
+            }
+        }
+        Some(Some(worst))
+    }
+
+    /// Bans a peer directly in the merged view (until
+    /// [`unban`](Self::unban) or [`reset_banlist`](Self::reset_banlist)).
+    pub fn ban(&mut self, peer: ReplicaId) {
+        self.direct_bans.insert(peer);
+    }
+
+    /// Lifts a direct ban (shard-contributed bans are lifted by the
+    /// owning shard returning a proof, observed at the next absorb).
+    pub fn unban(&mut self, peer: ReplicaId) {
+        self.direct_bans.remove(&peer);
+    }
+
+    /// The merged banList (sorted, for tests / reporting).
+    pub fn banned(&self) -> Vec<ReplicaId> {
+        let mut v: Vec<ReplicaId> = self.merged_bans().into_iter().collect();
+        v.sort();
+        v
+    }
+
+    /// Clears the merged banList (the periodic reset, applied to every
+    /// shard on the next [`sync`](Self::sync)).
+    pub fn reset_banlist(&mut self) {
+        self.direct_bans.clear();
+        self.shard_bans.clear();
+    }
+
+    /// Replaces `shard`'s contribution to the merged view with the
+    /// balancer's current *own* bans (forwards in flight).  Bans the
+    /// shard has since lifted drop out of the merged view here.
+    pub fn absorb(&mut self, shard: u16, lb: &LoadBalancer) {
+        self.shard_bans.insert(shard, lb.own_banned());
+    }
+
+    /// Imposes the merged ban view on a shard's balancer (its own bans
+    /// are kept separate and unaffected).
+    pub fn sync(&self, lb: &mut LoadBalancer) {
+        lb.apply_ban_view(&self.merged_bans());
+    }
+
+    /// Picks the forward target for the next microblock from the
+    /// aggregated view: the unbanned candidate with the smallest
+    /// worst-case load, skipping peers that are busy on any shard or
+    /// that no shard has sampled.  Ties break towards the lower replica
+    /// id so every shard reaches the same decision.
+    pub fn choose_proxy(&self, candidates: &[ReplicaId]) -> Option<ReplicaId> {
+        let banned = self.merged_bans();
+        candidates
+            .iter()
+            .filter(|r| !banned.contains(r))
+            .filter_map(|r| match self.aggregated_load(*r) {
+                Some(Some(w)) => Some((w, *r)),
+                _ => None,
+            })
+            .min()
+            .map(|(_, r)| r)
     }
 }
 
@@ -343,6 +524,197 @@ mod tests {
         assert!(lb.banned().is_empty());
         // After the timeout the proof no longer unbans anything.
         assert_eq!(lb.on_proof_received(&m.id), None);
+    }
+
+    #[test]
+    fn coordinator_aggregates_worst_case_load_across_shards() {
+        let mut coord = ShardLoadCoordinator::new();
+        assert_eq!(coord.aggregated_load(ReplicaId(1)), None);
+        coord.record(0, ReplicaId(1), Some(100));
+        coord.record(1, ReplicaId(1), Some(700));
+        coord.record(2, ReplicaId(1), Some(300));
+        assert_eq!(coord.aggregated_load(ReplicaId(1)), Some(Some(700)));
+        // Busy on one shard means busy for the whole replica.
+        coord.record(3, ReplicaId(1), None);
+        assert_eq!(coord.aggregated_load(ReplicaId(1)), Some(None));
+        // A fresh sample on the busy shard clears it.
+        coord.record(3, ReplicaId(1), Some(50));
+        assert_eq!(coord.aggregated_load(ReplicaId(1)), Some(Some(700)));
+    }
+
+    #[test]
+    fn coordinator_chooses_one_proxy_from_aggregated_samples() {
+        // Shard-local views disagree: shard 0 thinks peer 2 is the least
+        // loaded, shard 1 thinks peer 1 is.  The aggregated (worst-case)
+        // view must produce ONE decision both shards share.
+        let mut coord = ShardLoadCoordinator::new();
+        coord.record(0, ReplicaId(1), Some(900));
+        coord.record(0, ReplicaId(2), Some(100));
+        coord.record(1, ReplicaId(1), Some(200));
+        coord.record(1, ReplicaId(2), Some(800));
+        let candidates = [ReplicaId(1), ReplicaId(2)];
+        // Worst case: peer 1 = 900, peer 2 = 800 → peer 2 wins.
+        assert_eq!(coord.choose_proxy(&candidates), Some(ReplicaId(2)));
+        // Banning the winner moves the decision to the runner-up.
+        coord.ban(ReplicaId(2));
+        assert_eq!(coord.choose_proxy(&candidates), Some(ReplicaId(1)));
+        // Unsampled and busy peers are never chosen.
+        coord.record(0, ReplicaId(1), None);
+        assert_eq!(coord.choose_proxy(&candidates), None);
+    }
+
+    #[test]
+    fn coordinator_ties_break_deterministically() {
+        let mut coord = ShardLoadCoordinator::new();
+        coord.record(0, ReplicaId(5), Some(100));
+        coord.record(0, ReplicaId(3), Some(100));
+        assert_eq!(
+            coord.choose_proxy(&[ReplicaId(5), ReplicaId(3)]),
+            Some(ReplicaId(3)),
+            "equal load must resolve to the lower replica id on every shard"
+        );
+    }
+
+    #[test]
+    fn absorb_and_sync_leave_no_shard_disagreeing_on_bans() {
+        // Four shard-local balancers; shard 0 forwards to a proxy and
+        // bans it locally — the other shards know nothing about it.
+        let n = 10;
+        let mut shards: Vec<LoadBalancer> = (0..4)
+            .map(|_| LoadBalancer::new(ReplicaId(0), n, DlbConfig::default().with_d(1)))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(11);
+        let (token, targets) = shards[0].start_sampling(mb(0, 0), &mut rng).unwrap();
+        let decision = shards[0].on_load_info(token, targets[0], Some(10)).unwrap();
+        let proxy = match decision {
+            ForwardDecision::Forward { proxy, .. } => proxy,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(shards[0].banned(), vec![proxy]);
+        assert!(
+            shards[1..].iter().all(|lb| lb.banned().is_empty()),
+            "shard-local views disagree before coordination"
+        );
+
+        // Coordination round: absorb every shard, sync every shard.
+        let mut coord = ShardLoadCoordinator::new();
+        for (i, lb) in shards.iter().enumerate() {
+            coord.absorb(i as u16, lb);
+        }
+        for lb in &mut shards {
+            coord.sync(lb);
+        }
+        for (i, lb) in shards.iter().enumerate() {
+            assert_eq!(
+                lb.banned(),
+                vec![proxy],
+                "shard {i} disagrees on banned() membership after sync"
+            );
+            assert!(lb.is_banned(proxy));
+        }
+
+        // No shard will sample the coordinated ban, even those that
+        // never talked to the proxy themselves.
+        for lb in &mut shards {
+            for _ in 0..20 {
+                if let Some((_, targets)) = lb.start_sampling(mb(0, 1), &mut rng) {
+                    assert!(!targets.contains(&proxy));
+                }
+            }
+        }
+
+        // The periodic reset clears the *imposed* view everywhere; the
+        // forwarding shard's own in-flight ban rightly survives until
+        // its proof returns or its own periodic reset fires.
+        coord.reset_banlist();
+        for lb in &mut shards {
+            coord.sync(lb);
+        }
+        assert_eq!(shards[0].banned(), vec![proxy], "own ban survives");
+        for (i, lb) in shards.iter().enumerate().skip(1) {
+            assert!(lb.banned().is_empty(), "imposed ban on shard {i} cleared");
+        }
+        shards[0].reset_banlist();
+        assert!(shards[0].banned().is_empty());
+    }
+
+    #[test]
+    fn lifted_shard_bans_drop_out_of_the_merged_view() {
+        // Regression: the merged view must not be grow-only.  A ban
+        // created by a forward in flight has to disappear from every
+        // shard once the proxy returns its proof — otherwise every
+        // honest proxy accumulates in the merged view between periodic
+        // resets and the proxy pool shrinks to nothing.
+        let mut shards: Vec<LoadBalancer> = (0..2)
+            .map(|_| LoadBalancer::new(ReplicaId(0), 6, DlbConfig::default().with_d(1)))
+            .collect();
+        let mut rng = SmallRng::seed_from_u64(12);
+        let m = mb(0, 9);
+        let (token, targets) = shards[0].start_sampling(m.clone(), &mut rng).unwrap();
+        let proxy = match shards[0].on_load_info(token, targets[0], Some(5)).unwrap() {
+            ForwardDecision::Forward { proxy, .. } => proxy,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut coord = ShardLoadCoordinator::new();
+        for (i, lb) in shards.iter().enumerate() {
+            coord.absorb(i as u16, lb);
+        }
+        for lb in &mut shards {
+            coord.sync(lb);
+        }
+        assert!(shards.iter().all(|lb| lb.is_banned(proxy)));
+
+        // The proof comes back: shard 0 lifts its own ban, and the next
+        // coordination round propagates the lift everywhere.
+        assert_eq!(shards[0].on_proof_received(&m.id), Some(proxy));
+        for (i, lb) in shards.iter().enumerate() {
+            coord.absorb(i as u16, lb);
+        }
+        for lb in &mut shards {
+            coord.sync(lb);
+        }
+        for (i, lb) in shards.iter().enumerate() {
+            assert!(
+                !lb.is_banned(proxy),
+                "shard {i} still bans the proxy after its forward resolved"
+            );
+        }
+        assert!(coord.banned().is_empty());
+    }
+
+    #[test]
+    fn imposed_bans_never_mask_or_lift_owned_bans() {
+        // An owned ban (forward in flight) must survive a stale imposed
+        // view that does not contain it.
+        let mut lb = lb(1);
+        let mut rng = SmallRng::seed_from_u64(13);
+        let m = mb(0, 10);
+        let (token, targets) = lb.start_sampling(m.clone(), &mut rng).unwrap();
+        let proxy = match lb.on_load_info(token, targets[0], Some(5)).unwrap() {
+            ForwardDecision::Forward { proxy, .. } => proxy,
+            other => panic!("unexpected {other:?}"),
+        };
+        lb.apply_ban_view(&HashSet::new()); // stale empty view
+        assert!(
+            lb.is_banned(proxy),
+            "an empty imposed view must not lift the in-flight ban"
+        );
+        assert_eq!(lb.on_proof_received(&m.id), Some(proxy));
+        assert!(!lb.is_banned(proxy));
+    }
+
+    #[test]
+    fn direct_ban_api_protects_self_and_roundtrips() {
+        let mut lb = lb(2);
+        lb.ban(ReplicaId(0)); // self — ignored
+        assert!(!lb.is_banned(ReplicaId(0)));
+        lb.ban(ReplicaId(4));
+        assert!(lb.is_banned(ReplicaId(4)));
+        lb.unban(ReplicaId(4));
+        assert!(!lb.is_banned(ReplicaId(4)));
+        let view: HashSet<ReplicaId> = [ReplicaId(0), ReplicaId(2)].into_iter().collect();
+        lb.apply_ban_view(&view);
+        assert_eq!(lb.banned(), vec![ReplicaId(2)], "self is filtered out");
     }
 
     #[test]

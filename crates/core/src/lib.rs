@@ -52,7 +52,7 @@ pub mod messages;
 pub mod pab;
 
 pub use config::{DlbConfig, StratusConfig};
-pub use dlb::{ForwardDecision, LoadBalancer};
+pub use dlb::{ForwardDecision, LoadBalancer, ShardLoadCoordinator};
 pub use estimator::StableTimeEstimator;
 pub use limiter::TokenBucket;
 pub use mempool::StratusMempool;

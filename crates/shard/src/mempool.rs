@@ -1,13 +1,14 @@
 //! The sharded mempool wrapper.
 
 use crate::envelope::ShardedMsg;
+use crate::executor::{Executor, ParallelExecutor, SequentialExecutor, ShardExecutor, ShardOp};
 use crate::mux::TimerMux;
 use crate::router::ShardRouter;
 use rand::rngs::SmallRng;
 use smp_mempool::{Effects, FillStatus, Mempool, MempoolEvent, MempoolStats, TimerTag};
 use smp_types::{
-    BlockId, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig, Transaction,
-    WireSize, SHARD_GROUP_TAG_BYTES,
+    BlockId, ExecutorKind, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig,
+    Transaction, WireSize, SHARD_GROUP_TAG_BYTES,
 };
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -36,6 +37,21 @@ impl PayloadItem {
     }
 }
 
+/// The per-shard system configuration: the microblock batch budget is
+/// divided across the `k` dissemination pipelines (min-clamped to one
+/// transaction) so a sharded replica seals the same total bytes per batch
+/// interval as an unsharded one instead of `k` times as many.
+pub fn per_shard_config(config: &SystemConfig, shards: usize) -> SystemConfig {
+    let k = shards.max(1);
+    let mut shard_config = config.clone();
+    if k > 1 {
+        shard_config.mempool.batch_size_bytes = (config.mempool.batch_size_bytes / k)
+            .max(config.mempool.tx_payload_bytes)
+            .max(1);
+    }
+    shard_config
+}
+
 /// A shared mempool running `k` independent dissemination pipelines.
 ///
 /// Wraps `k` instances of any backend mempool `M`.  Client transactions
@@ -45,8 +61,14 @@ impl PayloadItem {
 /// [`Mempool::make_payload`] interleave content from all shards under the
 /// configured byte budget, and incoming proposals are filled by fanning
 /// per-shard groups back out to the owning instances.
-pub struct ShardedMempool<M> {
-    shards: Vec<M>,
+///
+/// The instances are driven by a [`ShardExecutor`]: inline on the
+/// replica's thread ([`SequentialExecutor`], the default) or one worker
+/// thread per shard ([`ParallelExecutor`]).  The two are byte-identical
+/// on the same seed (see the executor module docs for the determinism
+/// contract), so the choice is purely about hardware parallelism.
+pub struct ShardedMempool<M: Mempool> {
+    executor: Executor<M>,
     router: ShardRouter,
     mux: TimerMux,
     /// Round-robin start offset for payload assembly, advanced once per
@@ -69,13 +91,44 @@ pub struct ShardedMempool<M> {
 }
 
 impl<M: Mempool> ShardedMempool<M> {
-    /// Builds a sharded mempool with `shards` instances produced by
-    /// `make` (called with the shard index).
-    pub fn new<F: FnMut(usize) -> M>(config: &SystemConfig, shards: usize, mut make: F) -> Self {
-        let shards = shards.max(1);
+    /// Builds a sequentially executed sharded mempool with `shards`
+    /// instances produced by `make`, which receives the shard index and
+    /// the per-shard configuration (batch budget divided by `k`, see
+    /// [`per_shard_config`]).  Uses RNG salt 0 — in a multi-replica
+    /// deployment use [`Self::sequential`] with the replica id so peers
+    /// do not draw correlated per-shard streams.
+    pub fn new<F: FnMut(usize, &SystemConfig) -> M>(
+        config: &SystemConfig,
+        shards: usize,
+        make: F,
+    ) -> Self {
+        Self::sequential(config, shards, 0, make)
+    }
+
+    /// Builds a sequentially executed sharded mempool.  `salt`
+    /// distinguishes the per-shard RNG streams of different replicas
+    /// (pass the replica id).
+    pub fn sequential<F: FnMut(usize, &SystemConfig) -> M>(
+        config: &SystemConfig,
+        shards: usize,
+        salt: u64,
+        make: F,
+    ) -> Self {
+        let k = shards.max(1);
+        let executor = Executor::Sequential(SequentialExecutor::new(
+            Self::instances(config, k, make),
+            config.seed,
+            salt,
+        ));
+        Self::with_executor(config, executor)
+    }
+
+    /// Wraps a pre-built executor.
+    pub fn with_executor(config: &SystemConfig, executor: Executor<M>) -> Self {
+        let k = executor.shard_count();
         ShardedMempool {
-            shards: (0..shards).map(&mut make).collect(),
-            router: ShardRouter::new(shards),
+            executor,
+            router: ShardRouter::new(k),
             mux: TimerMux::new(),
             cursor: 0,
             budget: config.mempool.max_proposal_bytes.max(1),
@@ -85,15 +138,18 @@ impl<M: Mempool> ShardedMempool<M> {
         }
     }
 
-    /// Builds a sharded mempool with the shard count from
-    /// [`SystemConfig::shards`].
-    pub fn from_system<F: FnMut(usize) -> M>(config: &SystemConfig, make: F) -> Self {
-        ShardedMempool::new(config, config.shards, make)
+    fn instances<F: FnMut(usize, &SystemConfig) -> M>(
+        config: &SystemConfig,
+        k: usize,
+        mut make: F,
+    ) -> Vec<M> {
+        let shard_config = per_shard_config(config, k);
+        (0..k).map(|s| make(s, &shard_config)).collect()
     }
 
     /// Number of shards.
     pub fn shard_count(&self) -> usize {
-        self.shards.len()
+        self.executor.shard_count()
     }
 
     /// The router assigning transactions to shards.
@@ -101,14 +157,14 @@ impl<M: Mempool> ShardedMempool<M> {
         &self.router
     }
 
-    /// A specific inner instance (for inspection).
-    pub fn shard(&self, index: usize) -> &M {
-        &self.shards[index]
+    /// Whether the shards run on worker threads.
+    pub fn is_parallel(&self) -> bool {
+        matches!(self.executor, Executor::Parallel(_))
     }
 
     /// Per-shard counters (the [`Mempool::stats`] roll-up, unaggregated).
     pub fn shard_stats(&self) -> Vec<MempoolStats> {
-        self.shards.iter().map(|s| s.stats()).collect()
+        self.executor.shard_stats()
     }
 
     /// Content drained from shards but not yet placed into a payload.
@@ -146,6 +202,22 @@ impl<M: Mempool> ShardedMempool<M> {
                 }
                 other => out.event(other),
             }
+        }
+        out
+    }
+
+    /// Runs a batch of per-shard operations and merges the lifted effects
+    /// in submission order.
+    fn run_effects(
+        &mut self,
+        ops: Vec<(u16, ShardOp<M>)>,
+        rng: Option<&mut SmallRng>,
+    ) -> Effects<ShardedMsg<M::Msg>> {
+        let shards: Vec<u16> = ops.iter().map(|(s, _)| *s).collect();
+        let outputs = self.executor.run(ops, rng);
+        let mut out = Effects::none();
+        for (shard, output) in shards.into_iter().zip(outputs) {
+            out.merge(self.lift(shard, output.into_effects()));
         }
         out
     }
@@ -206,32 +278,41 @@ impl<M: Mempool> ShardedMempool<M> {
     /// of accumulating without bound in the carry queue under sustained
     /// overload.
     fn drain_shards(&mut self, now: SimTime) -> Vec<PayloadItem> {
-        let k = self.shards.len();
+        let k = self.executor.shard_count();
         let backlogged = self.carry_bytes >= self.budget;
         let mut items: Vec<PayloadItem> = self.carry.drain(..).collect();
         self.carry_bytes = 0;
         if backlogged {
             return items;
         }
-        for off in 0..k {
-            let s = (self.cursor + off) % k;
-            match self.shards[s].make_payload(now) {
+        let ops: Vec<(u16, ShardOp<M>)> = (0..k)
+            .map(|off| {
+                let s = (self.cursor + off) % k;
+                (s as u16, ShardOp::MakePayload { now })
+            })
+            .collect();
+        let shards: Vec<u16> = ops.iter().map(|(s, _)| *s).collect();
+        let payloads = self.executor.run(ops, None);
+        for (s, output) in shards.into_iter().zip(payloads) {
+            match output.into_payload() {
                 Payload::Empty => {}
                 Payload::Refs(refs) => {
-                    items.extend(refs.into_iter().map(|r| PayloadItem::Ref(s as u16, r)));
+                    items.extend(refs.into_iter().map(|r| PayloadItem::Ref(s, r)));
                 }
                 Payload::Inline(txs) => {
-                    items.extend(txs.iter().cloned().map(|t| PayloadItem::Tx(s as u16, t)));
+                    items.extend(txs.iter().cloned().map(|t| PayloadItem::Tx(s, t)));
                 }
                 // Backends never emit nested sharded payloads; fold the
                 // groups in defensively if one ever does.
                 Payload::Sharded(groups) => {
                     for (_, p) in groups {
                         match p {
-                            Payload::Refs(refs) => items
-                                .extend(refs.into_iter().map(|r| PayloadItem::Ref(s as u16, r))),
-                            Payload::Inline(txs) => items
-                                .extend(txs.iter().cloned().map(|t| PayloadItem::Tx(s as u16, t))),
+                            Payload::Refs(refs) => {
+                                items.extend(refs.into_iter().map(|r| PayloadItem::Ref(s, r)))
+                            }
+                            Payload::Inline(txs) => {
+                                items.extend(txs.iter().cloned().map(|t| PayloadItem::Tx(s, t)))
+                            }
                             _ => {}
                         }
                     }
@@ -293,6 +374,49 @@ impl<M: Mempool> ShardedMempool<M> {
     }
 }
 
+impl<M> ShardedMempool<M>
+where
+    M: Mempool + Send + 'static,
+    M::Msg: Send,
+{
+    /// Builds a sharded mempool whose shards run on worker threads.
+    /// `salt` distinguishes the per-shard RNG streams of different
+    /// replicas (pass the replica id); on the same `(config, salt)` the
+    /// parallel mempool is byte-identical to the sequential one.
+    pub fn parallel<F: FnMut(usize, &SystemConfig) -> M>(
+        config: &SystemConfig,
+        shards: usize,
+        salt: u64,
+        make: F,
+    ) -> Self {
+        let k = shards.max(1);
+        let executor = Executor::Parallel(ParallelExecutor::new(
+            Self::instances(config, k, make),
+            config.seed,
+            salt,
+        ));
+        Self::with_executor(config, executor)
+    }
+
+    /// Builds a sharded mempool with the shard count and executor kind
+    /// from [`SystemConfig::shards`] / [`SystemConfig::executor`].
+    ///
+    /// `salt` distinguishes the per-shard RNG streams of different
+    /// replicas — pass the replica id.  Two replicas built with the same
+    /// salt draw identical per-shard streams and make correlated random
+    /// choices.
+    pub fn from_system<F: FnMut(usize, &SystemConfig) -> M>(
+        config: &SystemConfig,
+        salt: u64,
+        make: F,
+    ) -> Self {
+        match config.executor {
+            ExecutorKind::Sequential => Self::sequential(config, config.shards, salt, make),
+            ExecutorKind::Parallel => Self::parallel(config, config.shards, salt, make),
+        }
+    }
+}
+
 impl<M: Mempool> Mempool for ShardedMempool<M> {
     type Msg = ShardedMsg<M::Msg>;
 
@@ -302,12 +426,13 @@ impl<M: Mempool> Mempool for ShardedMempool<M> {
         txs: Vec<Transaction>,
         rng: &mut SmallRng,
     ) -> Effects<Self::Msg> {
-        let mut out = Effects::none();
-        for (shard, group) in self.router.partition(txs) {
-            let fx = self.shards[shard].on_client_txs(now, group, rng);
-            out.merge(self.lift(shard as u16, fx));
-        }
-        out
+        let ops: Vec<(u16, ShardOp<M>)> = self
+            .router
+            .partition(txs)
+            .into_iter()
+            .map(|(shard, group)| (shard as u16, ShardOp::ClientTxs { now, txs: group }))
+            .collect();
+        self.run_effects(ops, Some(rng))
     }
 
     fn on_message(
@@ -318,30 +443,44 @@ impl<M: Mempool> Mempool for ShardedMempool<M> {
         rng: &mut SmallRng,
     ) -> Effects<Self::Msg> {
         let shard = msg.shard;
-        if shard as usize >= self.shards.len() {
+        if shard as usize >= self.executor.shard_count() {
             // A peer with a different shard count is misconfigured (or
             // Byzantine); drop the message rather than panic.
             return Effects::none();
         }
-        let fx = self.shards[shard as usize].on_message(now, from, msg.inner, rng);
-        self.lift(shard, fx)
+        let ops = vec![(
+            shard,
+            ShardOp::Message {
+                now,
+                from,
+                msg: msg.inner,
+            },
+        )];
+        self.run_effects(ops, Some(rng))
     }
 
     fn on_timer(&mut self, now: SimTime, tag: TimerTag, rng: &mut SmallRng) -> Effects<Self::Msg> {
         match self.mux.fire(tag) {
             Some((shard, inner)) => {
-                let fx = self.shards[shard as usize].on_timer(now, inner, rng);
-                self.lift(shard, fx)
+                let ops = vec![(shard, ShardOp::Timer { now, tag: inner })];
+                self.run_effects(ops, Some(rng))
             }
             None => Effects::none(),
         }
     }
 
     fn make_payload(&mut self, now: SimTime) -> Payload {
-        if self.shards.len() == 1 && self.carry.is_empty() {
+        if self.executor.shard_count() == 1 && self.carry.is_empty() {
             // Transparent fast path: one shard proposes exactly what the
             // unwrapped backend would.
-            return self.shards[0].make_payload(now);
+            let outputs = self
+                .executor
+                .run(vec![(0, ShardOp::MakePayload { now })], None);
+            return outputs
+                .into_iter()
+                .next()
+                .expect("one output")
+                .into_payload();
         }
         let items = self.drain_shards(now);
         self.assemble(items)
@@ -356,27 +495,57 @@ impl<M: Mempool> Mempool for ShardedMempool<M> {
         self.prune_carry(proposal);
         match &proposal.payload {
             Payload::Sharded(groups) => {
+                let k = self.executor.shard_count();
+                if groups.iter().any(|(shard, _)| *shard as usize >= k) {
+                    return (
+                        FillStatus::Invalid("unknown shard in proposal"),
+                        Effects::none(),
+                    );
+                }
+                // Every referenced shard verifies its group; the verdicts
+                // are aggregated afterwards so the executor can fan the
+                // sub-proposals out concurrently.
+                let ops: Vec<(u16, ShardOp<M>)> = groups
+                    .iter()
+                    .map(|(shard, sub)| {
+                        (
+                            *shard,
+                            ShardOp::Proposal {
+                                now,
+                                proposal: Self::sub_proposal(proposal, sub.clone()),
+                            },
+                        )
+                    })
+                    .collect();
+                let shards: Vec<u16> = ops.iter().map(|(s, _)| *s).collect();
+                let outputs = self.executor.run(ops, Some(rng));
                 let mut out = Effects::none();
                 let mut missing = Vec::new();
                 let mut waiting: HashSet<u16> = HashSet::new();
-                for (shard, sub) in groups {
-                    if *shard as usize >= self.shards.len() {
-                        return (FillStatus::Invalid("unknown shard in proposal"), out);
-                    }
-                    let sub_prop = Self::sub_proposal(proposal, sub.clone());
-                    let (status, fx) =
-                        self.shards[*shard as usize].on_proposal(now, &sub_prop, rng);
-                    out.merge(self.lift(*shard, fx));
+                let mut invalid: Option<&'static str> = None;
+                for (shard, output) in shards.into_iter().zip(outputs) {
+                    let (status, fx) = output.into_fill();
+                    out.merge(self.lift(shard, fx));
                     match status {
                         FillStatus::Ready => {}
                         FillStatus::MustWait(ids) => {
                             missing.extend(ids);
-                            waiting.insert(*shard);
+                            waiting.insert(shard);
                         }
                         FillStatus::Invalid(reason) => {
-                            return (FillStatus::Invalid(reason), out);
+                            invalid.get_or_insert(reason);
                         }
                     }
+                }
+                if let Some(reason) = invalid {
+                    // Waiting shards are deliberately NOT registered in
+                    // `pending_fills`: consensus rejects the proposal, so
+                    // a shard's later per-shard `ProposalReady` is
+                    // forwarded untracked and dropped by the replica's
+                    // `pending_verdicts` guard (same as a backend
+                    // re-announce), while registering it here would leak
+                    // an entry for a proposal that never commits.
+                    return (FillStatus::Invalid(reason), out);
                 }
                 if waiting.is_empty() {
                     (FillStatus::Ready, out)
@@ -386,8 +555,23 @@ impl<M: Mempool> Mempool for ShardedMempool<M> {
                 }
             }
             // Empty / inline / single-shard payloads belong to shard 0.
+            // The clone is shallow: transaction payloads are `Bytes`
+            // (refcounted), so it costs O(items), not O(payload bytes).
             _ => {
-                let (status, fx) = self.shards[0].on_proposal(now, proposal, rng);
+                let ops = vec![(
+                    0u16,
+                    ShardOp::Proposal {
+                        now,
+                        proposal: proposal.clone(),
+                    },
+                )];
+                let output = self
+                    .executor
+                    .run(ops, Some(rng))
+                    .into_iter()
+                    .next()
+                    .expect("one output");
+                let (status, fx) = output.into_fill();
                 if matches!(status, FillStatus::MustWait(_)) {
                     self.pending_fills
                         .insert(proposal.id, HashSet::from([0u16]));
@@ -403,28 +587,38 @@ impl<M: Mempool> Mempool for ShardedMempool<M> {
         self.prune_carry(proposal);
         match &proposal.payload {
             Payload::Sharded(groups) => {
-                let mut out = Effects::none();
-                for (shard, sub) in groups {
-                    if *shard as usize >= self.shards.len() {
-                        continue;
-                    }
-                    let sub_prop = Self::sub_proposal(proposal, sub.clone());
-                    let fx = self.shards[*shard as usize].on_commit(now, &sub_prop);
-                    out.merge(self.lift(*shard, fx));
-                }
-                out
+                let k = self.executor.shard_count();
+                let ops: Vec<(u16, ShardOp<M>)> = groups
+                    .iter()
+                    .filter(|(shard, _)| (*shard as usize) < k)
+                    .map(|(shard, sub)| {
+                        (
+                            *shard,
+                            ShardOp::Commit {
+                                now,
+                                proposal: Self::sub_proposal(proposal, sub.clone()),
+                            },
+                        )
+                    })
+                    .collect();
+                self.run_effects(ops, None)
             }
             _ => {
-                let fx = self.shards[0].on_commit(now, proposal);
-                self.lift(0, fx)
+                let ops = vec![(
+                    0u16,
+                    ShardOp::Commit {
+                        now,
+                        proposal: proposal.clone(),
+                    },
+                )];
+                self.run_effects(ops, None)
             }
         }
     }
 
     fn stats(&self) -> MempoolStats {
         let mut total = MempoolStats::default();
-        for s in &self.shards {
-            let st = s.stats();
+        for st in self.executor.shard_stats() {
             total.unbatched_txs += st.unbatched_txs;
             total.stored_microblocks += st.stored_microblocks;
             total.proposable_microblocks += st.proposable_microblocks;

@@ -1,12 +1,13 @@
 //! Tests of the sharded mempool: router determinism and coverage (uniform
 //! and Zipf workloads), cross-shard payload assembly under the byte
-//! budget, fill aggregation, and the single-shard pass-through.
+//! budget, fill aggregation, the single-shard pass-through, shard-aware
+//! batch sizing, and sequential/parallel executor equivalence.
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use smp_mempool::{Dest, FillStatus, Mempool, MempoolEvent, SimpleSmp, SmpMsg};
-use smp_shard::{ShardRouter, ShardedMempool, ShardedMsg};
+use smp_shard::{per_shard_config, ShardRouter, ShardedMempool, ShardedMsg, TimerMux};
 use smp_types::{
     BlockId, ClientId, MempoolConfig, MicroblockId, Payload, Proposal, ReplicaId, SystemConfig,
     Transaction, View, WireSize,
@@ -30,7 +31,9 @@ fn small_batch_system(shards: usize) -> SystemConfig {
 }
 
 fn sharded_simple(sys: &SystemConfig, me: u32) -> ShardedMempool<SimpleSmp> {
-    ShardedMempool::from_system(sys, |_| SimpleSmp::new(sys, ReplicaId(me)))
+    ShardedMempool::from_system(sys, me as u64, |_, shard_sys| {
+        SimpleSmp::new(shard_sys, ReplicaId(me))
+    })
 }
 
 proptest! {
@@ -301,6 +304,141 @@ fn stats_roll_up_across_shards() {
             >= 2,
         "several shards should have sealed microblocks"
     );
+}
+
+#[test]
+fn per_shard_batch_budgets_sum_to_the_configured_total() {
+    // Regression: `ShardedMempool::new` used to hand every shard the full
+    // `batch_size_bytes`, so a k-sharded replica sealed k times the
+    // configured batch volume.
+    let sys = SystemConfig::new(4); // 128 KiB batches, 128 B txs
+    let total = sys.mempool.batch_size_bytes;
+    for k in [1usize, 2, 4, 8] {
+        let shard_sys = per_shard_config(&sys, k);
+        assert_eq!(
+            shard_sys.mempool.batch_size_bytes * k,
+            total,
+            "per-shard budgets at k={k} must sum to the configured total"
+        );
+    }
+    // The constructor hands the divided budget to every backend it builds.
+    let mut seen: Vec<usize> = Vec::new();
+    let _ = ShardedMempool::new(&sys, 4, |_, shard_sys| {
+        seen.push(shard_sys.mempool.batch_size_bytes);
+        SimpleSmp::new(shard_sys, ReplicaId(0))
+    });
+    assert_eq!(seen.len(), 4);
+    assert_eq!(seen.iter().sum::<usize>(), total);
+    // Min-clamp: the division never starves a shard below one transaction.
+    let tiny = SystemConfig::new(4).with_mempool(MempoolConfig {
+        batch_size_bytes: 512,
+        tx_payload_bytes: 128,
+        ..MempoolConfig::default()
+    });
+    let clamped = per_shard_config(&tiny, 16);
+    assert_eq!(
+        clamped.mempool.batch_size_bytes, 128,
+        "per-shard budget is clamped to one transaction payload"
+    );
+}
+
+#[test]
+fn timer_mux_never_collides_under_concurrent_shard_arms() {
+    // Parallel shard workers arm timers concurrently (serialised at the
+    // wrapper, but interleaved in arbitrary order).  Hammer the mux from
+    // four threads and verify global outer-tag uniqueness plus exact
+    // (shard, inner-tag) resolution afterwards.
+    use std::sync::{Arc, Mutex};
+    let mux = Arc::new(Mutex::new(TimerMux::new()));
+    let handles: Vec<_> = (0..4u16)
+        .map(|shard| {
+            let mux = Arc::clone(&mux);
+            std::thread::spawn(move || {
+                (0..1_000u64)
+                    .map(|inner| (mux.lock().unwrap().arm(shard, inner), inner))
+                    .collect::<Vec<(u64, u64)>>()
+            })
+        })
+        .collect();
+    let mut armed: Vec<(u64, u16, u64)> = Vec::new();
+    for (shard, handle) in handles.into_iter().enumerate() {
+        for (outer, inner) in handle.join().expect("arm thread panicked") {
+            armed.push((outer, shard as u16, inner));
+        }
+    }
+    let unique: HashSet<u64> = armed.iter().map(|(outer, ..)| *outer).collect();
+    assert_eq!(unique.len(), armed.len(), "outer timer tags collided");
+    let mux = Arc::try_unwrap(mux).expect("all threads joined");
+    let mut mux = mux.into_inner().expect("mux lock poisoned");
+    assert_eq!(mux.armed(), 4_000);
+    for (outer, shard, inner) in armed {
+        assert_eq!(
+            mux.fire(outer),
+            Some((shard, inner)),
+            "outer tag resolved to the wrong shard arm"
+        );
+    }
+    assert_eq!(mux.armed(), 0);
+}
+
+/// Drives one wrapper through ingest → propose → fill → commit and
+/// captures everything observable.
+fn drive_wrapper(
+    mp: &mut ShardedMempool<SimpleSmp>,
+    rng: &mut SmallRng,
+) -> (Vec<String>, Vec<Payload>) {
+    let mut effects_log = Vec::new();
+    let mut payloads = Vec::new();
+    for round in 0..4u64 {
+        let txs: Vec<Transaction> = (0..48)
+            .map(|s| tx((s % 7) as u32, round * 100 + s))
+            .collect();
+        let fx = mp.on_client_txs(round * 1_000, txs, rng);
+        effects_log.push(format!("{:?}|{:?}|{:?}", fx.msgs, fx.timers, fx.events));
+        let payload = mp.make_payload(round * 1_000 + 500);
+        let proposal = Proposal::new(
+            View(round),
+            round,
+            BlockId::GENESIS,
+            ReplicaId(0),
+            payload.clone(),
+            true,
+        );
+        let (status, fx) = mp.on_proposal(round * 1_000 + 600, &proposal, rng);
+        effects_log.push(format!("{status:?}|{:?}", fx.msgs.len()));
+        let fx = mp.on_commit(round * 1_000 + 700, &proposal);
+        effects_log.push(format!("{:?}", fx.events));
+        payloads.push(payload);
+    }
+    (effects_log, payloads)
+}
+
+#[test]
+fn parallel_wrapper_is_byte_identical_to_sequential_wrapper() {
+    // Exercise real worker threads even on single-core hosts.
+    smp_shard::force_parallel_workers(true);
+    for k in [1usize, 2, 4] {
+        let sys = small_batch_system(k);
+        let salt = 7u64;
+        let mut seq = ShardedMempool::sequential(&sys, k, salt, |_, shard_sys| {
+            SimpleSmp::new(shard_sys, ReplicaId(0))
+        });
+        let mut par = ShardedMempool::parallel(&sys, k, salt, |_, shard_sys| {
+            SimpleSmp::new(shard_sys, ReplicaId(0))
+        });
+        assert!(k == 1 || par.is_parallel());
+        let mut rng_a = SmallRng::seed_from_u64(9);
+        let mut rng_b = SmallRng::seed_from_u64(9);
+        let (log_a, payloads_a) = drive_wrapper(&mut seq, &mut rng_a);
+        let (log_b, payloads_b) = drive_wrapper(&mut par, &mut rng_b);
+        assert_eq!(log_a, log_b, "k={k}: executor effects diverged");
+        assert_eq!(payloads_a, payloads_b, "k={k}: proposals diverged");
+        assert_eq!(
+            seq.shard_stats(),
+            par.shard_stats(),
+            "k={k}: stats diverged"
+        );
+    }
 }
 
 #[test]

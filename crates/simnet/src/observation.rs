@@ -53,7 +53,7 @@ pub struct Observation {
 }
 
 /// An append-only log of observations with aggregation helpers.
-#[derive(Clone, Debug, Default, Serialize)]
+#[derive(Clone, Debug, Default, PartialEq, Serialize)]
 pub struct ObservationLog {
     entries: Vec<Observation>,
 }

@@ -18,7 +18,7 @@ pub mod transaction;
 pub mod wire;
 
 pub use block::Block;
-pub use config::{MempoolConfig, NetworkPreset, SystemConfig};
+pub use config::{ExecutorKind, MempoolConfig, NetworkPreset, SystemConfig};
 pub use ids::{BlockId, ClientId, MicroblockId, ReplicaId, TxId, View};
 pub use microblock::Microblock;
 pub use proposal::{MicroblockRef, Payload, Proposal, SHARD_GROUP_TAG_BYTES};

@@ -1,0 +1,105 @@
+//! Cross-executor conformance suite: the parallel shard executor must be
+//! **byte-identical** to the sequential one on the same seed — same
+//! proposals, same commits, same `ObservationLog`, same throughput
+//! series — for every Table II protocol and k ∈ {1, 2, 4} shards.
+//!
+//! This is the safety net that lets `SMP_EXECUTOR=parallel` run the
+//! whole suite in CI: if the parallel executor's scheduling, RNG
+//! streams, or output merge ever diverge from the sequential reference,
+//! one of these comparisons trips.
+
+use proptest::prelude::*;
+use stratus_repro::prelude::*;
+use stratus_repro::types::ExecutorKind;
+
+fn quick(protocol: Protocol, n: usize, rate: f64) -> ExperimentConfig {
+    ExperimentConfig::new(protocol, n, rate)
+        .with_duration(500_000, 1_500_000)
+        .with_batch_size(16 * 1024)
+}
+
+/// Runs `base` at `k` shards under both executors and asserts the runs
+/// are indistinguishable.
+fn assert_conformant(base: &ExperimentConfig, k: usize) {
+    // Exercise real worker threads even on single-core hosts (the
+    // parallel executor would otherwise degrade to inline execution
+    // there, making this suite vacuous).
+    stratus_repro::shard::force_parallel_workers(true);
+    let seq = run_experiment(
+        &base
+            .clone()
+            .with_shards(k)
+            .with_executor(ExecutorKind::Sequential),
+    );
+    let par = run_experiment(
+        &base
+            .clone()
+            .with_shards(k)
+            .with_executor(ExecutorKind::Parallel),
+    );
+    let label = format!("{} k={k} seed={}", base.protocol.label(), base.seed);
+    assert_eq!(
+        seq.observations, par.observations,
+        "{label}: observation logs diverged"
+    );
+    assert_eq!(
+        seq.committed_txs, par.committed_txs,
+        "{label}: committed transactions diverged"
+    );
+    assert_eq!(
+        seq.view_changes, par.view_changes,
+        "{label}: view changes diverged"
+    );
+    assert_eq!(
+        seq.throughput_series, par.throughput_series,
+        "{label}: throughput series diverged"
+    );
+    assert_eq!(
+        seq.summary.throughput_ktps, par.summary.throughput_ktps,
+        "{label}: headline throughput diverged"
+    );
+    assert_eq!(
+        seq.summary.p95_latency_ms, par.summary.p95_latency_ms,
+        "{label}: latency percentiles diverged"
+    );
+}
+
+#[test]
+fn parallel_executor_is_byte_identical_for_every_protocol_and_shard_count() {
+    for protocol in Protocol::all() {
+        for k in [1usize, 2, 4] {
+            assert_conformant(&quick(protocol, 4, 2_000.0), k);
+        }
+    }
+}
+
+#[test]
+fn conformance_survives_byzantine_senders_and_wan_conditions() {
+    // The adversarial paths (censoring senders, WAN delays, DLB under
+    // skew) exercise RNG draws the happy path never reaches.
+    let base = quick(Protocol::StratusHotStuff, 7, 2_000.0)
+        .wan()
+        .with_byzantine(2, 2)
+        .with_distribution(LoadDistribution::Zipf { s: 1.01, v: 1.0 });
+    assert_conformant(&base, 2);
+    assert_conformant(&base, 4);
+}
+
+proptest! {
+    // Each case runs two full simulations; a handful of random seeds per
+    // CI run is plenty on top of the exhaustive fixed-seed sweep above.
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn conformance_holds_for_random_seeds_loads_and_shard_counts(
+        seed in any::<u64>(),
+        rate in 500f64..6_000.0,
+        k in 1usize..5,
+        protocol_index in 0usize..9,
+    ) {
+        let protocol = Protocol::all()[protocol_index];
+        let mut base = quick(protocol, 4, rate);
+        base.seed = seed;
+        assert_conformant(&base, k);
+    }
+}

@@ -74,7 +74,7 @@ macro_rules! impl_range_strategy {
     )*};
 }
 
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
@@ -131,17 +131,51 @@ pub mod collection {
 /// Commonly used items, mirroring `proptest::prelude`.
 pub mod prelude {
     pub use crate::collection;
+    pub use crate::ProptestConfig;
     pub use crate::{any, Strategy};
     pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
 }
 
+/// Per-block configuration, mirroring `proptest::test_runner::Config`.
+/// Only the case count is honoured; set it with
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` as the first
+/// line of a [`proptest!`] block (expensive properties — e.g. ones that
+/// run whole simulations per case — use this to dial down from the
+/// default [`CASES`]).
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of cases generated per property.
+    pub cases: u64,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: CASES }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    pub fn with_cases(cases: u64) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
 /// Runs `f` once per deterministic case seed, panicking on the first
 /// failure with the case index and message.
-pub fn run_cases<F>(name: &str, mut f: F)
+pub fn run_cases<F>(name: &str, f: F)
 where
     F: FnMut(&mut SmallRng) -> Result<(), String>,
 {
-    for case in 0..CASES {
+    run_cases_with(name, CASES, f)
+}
+
+/// [`run_cases`] with an explicit case count.
+pub fn run_cases_with<F>(name: &str, cases: u64, mut f: F)
+where
+    F: FnMut(&mut SmallRng) -> Result<(), String>,
+{
+    for case in 0..cases {
         // Mix the property name into the seed so distinct properties
         // explore distinct inputs.
         let mut h = 0xcbf2_9ce4_8422_2325u64;
@@ -156,9 +190,25 @@ where
 }
 
 /// Declares property tests. Each function runs [`CASES`] deterministic
-/// cases; arguments are bound with `name in strategy` syntax.
+/// cases (or the count from an optional leading
+/// `#![proptest_config(..)]`); arguments are bound with
+/// `name in strategy` syntax.
 #[macro_export]
 macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            #[test]
+            fn $name() {
+                let __proptest_config: $crate::ProptestConfig = $config;
+                $crate::run_cases_with(stringify!($name), __proptest_config.cases, |__proptest_rng| {
+                    $(let $arg = $crate::Strategy::generate(&($strat), __proptest_rng);)+
+                    #[allow(unreachable_code)]
+                    (move || -> ::std::result::Result<(), String> { $body Ok(()) })()
+                });
+            }
+        )*
+    };
     ($(#[test] fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
         $(
             #[test]
@@ -223,6 +273,16 @@ macro_rules! prop_assume {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_limits_cases(x in any::<u64>()) {
+            // Deterministic generation: just confirm the body runs.
+            prop_assert_eq!(x, x);
+        }
+    }
 
     proptest! {
         #[test]
