@@ -2,9 +2,10 @@
 //! client-transaction fan-out, and cross-shard payload assembly as the
 //! shard count grows.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{criterion_group, BenchmarkId, Criterion};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
+use smp_bench::{BenchRecorder, Scale};
 use smp_mempool::{Mempool, SimpleSmp};
 use smp_shard::{ShardRouter, ShardedMempool};
 use smp_types::{ClientId, MempoolConfig, ReplicaId, SystemConfig, Transaction};
@@ -143,4 +144,16 @@ criterion_group!(
     bench_cross_shard_payload,
     bench_executor_comparison
 );
-criterion_main!(benches);
+
+// Custom main instead of `criterion_main!`: runs the groups, then exports
+// the collected measurements as a `BENCH_micro_shard.json` artifact when
+// `--bench-out <path>` is passed (e.g. via
+// `cargo bench --bench micro_shard -- --bench-out bench-out/`).
+fn main() {
+    let mut rec = BenchRecorder::from_args("micro_shard", Scale::from_args());
+    benches();
+    for r in criterion::take_reports() {
+        rec.metric(&r.id, "ns_per_iter", r.ns_per_iter);
+    }
+    rec.finish();
+}

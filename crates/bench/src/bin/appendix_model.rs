@@ -2,11 +2,12 @@
 //! that motivate the shared-mempool design.
 
 use smp_analysis::{absolute_upper_bound_tps, LbftModel, ModelParams, PbftModel, SmpModel};
-use smp_bench::{header, Scale};
+use smp_bench::{header, BenchRecorder, Scale};
 
 fn main() {
     let scale = Scale::from_args();
     header("Appendix A/B — analytical throughput models", scale);
+    let mut rec = BenchRecorder::from_args("appendix_model", scale);
     let params = ModelParams::default();
     let lbft = LbftModel::new(params);
     let pbft = PbftModel::new(params);
@@ -29,7 +30,12 @@ fn main() {
         let p = pbft.max_throughput_tps(n, 256.0 * 1024.0 * 8.0);
         let s = smp.balanced_throughput_tps(n);
         println!("{n:>6} {l:>16.0} {p:>16.0} {s:>18.0} {:>13.1}x", s / l);
+        let label = format!("n={n}");
+        rec.metric(&label, "lbft_tps", l);
+        rec.metric(&label, "pbft_tps", p);
+        rec.metric(&label, "smp_tps", s);
     }
+    rec.finish();
     println!("\nAppendix B balanced microblock size η = (n-2)γ:");
     for n in [64usize, 128, 256] {
         println!(

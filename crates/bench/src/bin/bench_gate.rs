@@ -1,0 +1,160 @@
+//! CI regression gate over recorded `BENCH_*.json` artifacts.
+//!
+//! Usage: `bench_gate <baseline.json> <candidate.json> [--threshold 0.15]
+//! [--gate-wall]`
+//!
+//! Compares every metric of every baseline point against the candidate
+//! artifact and exits non-zero when any metric regressed by more than the
+//! threshold (relative).  Metric direction is inferred from the name:
+//! `latency`, `*_ms`, `ns_per_iter`, `wall` and `view_changes` are
+//! lower-is-better, everything else higher-is-better.  Wall-clock metrics
+//! are reported but not gated unless `--gate-wall` is passed — sim-time
+//! results are deterministic, wall time is hardware-dependent.
+//!
+//! A point or metric present in the baseline but missing from the
+//! candidate is itself a failure: a benchmark silently dropping coverage
+//! must not pass the gate.
+
+use smp_bench::{arg_value, BenchArtifact};
+
+fn lower_is_better(key: &str) -> bool {
+    key.contains("latency")
+        || key.contains("_ms")
+        || key.ends_with("ms")
+        || key.contains("ns_per_iter")
+        || key.contains("wall")
+        || key.contains("view_changes")
+}
+
+fn is_wall(key: &str) -> bool {
+    key.contains("wall")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let paths: Vec<&String> = args
+        .iter()
+        .skip(1)
+        .filter(|a| !a.starts_with("--"))
+        // Skip the value that follows `--threshold`.
+        .filter(|a| {
+            args.iter()
+                .position(|x| x == *a)
+                .map(|i| i == 0 || args[i - 1] != "--threshold")
+                .unwrap_or(true)
+        })
+        .collect();
+    if paths.len() != 2 {
+        eprintln!(
+            "usage: bench_gate <baseline.json> <candidate.json> [--threshold 0.15] [--gate-wall]"
+        );
+        std::process::exit(2);
+    }
+    let threshold: f64 = arg_value("--threshold")
+        .map(|t| t.parse().expect("--threshold takes a number"))
+        .unwrap_or(0.15);
+    let gate_wall = args.iter().any(|a| a == "--gate-wall");
+
+    let load = |path: &str| -> BenchArtifact {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        BenchArtifact::parse(&text).unwrap_or_else(|e| {
+            eprintln!("bench_gate: cannot parse {path}: {e:?}");
+            std::process::exit(2);
+        })
+    };
+    let baseline = load(paths[0]);
+    let candidate = load(paths[1]);
+
+    if baseline.schema != candidate.schema {
+        eprintln!(
+            "bench_gate: schema mismatch (baseline v{}, candidate v{})",
+            baseline.schema, candidate.schema
+        );
+        std::process::exit(2);
+    }
+
+    println!(
+        "bench_gate: {} — baseline {} ({} points) vs candidate {} ({} points), threshold {:.0}%",
+        baseline.name,
+        if baseline.git_rev.is_empty() {
+            "?"
+        } else {
+            &baseline.git_rev
+        },
+        baseline.points.len(),
+        if candidate.git_rev.is_empty() {
+            "?"
+        } else {
+            &candidate.git_rev
+        },
+        candidate.points.len(),
+        threshold * 100.0
+    );
+
+    let mut failures: Vec<String> = Vec::new();
+    let mut compared = 0usize;
+    for bp in &baseline.points {
+        let Some(cp) = candidate.point(&bp.label) else {
+            failures.push(format!("point '{}' missing from candidate", bp.label));
+            continue;
+        };
+        for (key, base) in &bp.metrics {
+            let Some(cand) = cp.metrics.get(key).copied() else {
+                failures.push(format!(
+                    "metric '{}/{}' missing from candidate",
+                    bp.label, key
+                ));
+                continue;
+            };
+            let wall = is_wall(key);
+            if wall && !gate_wall {
+                println!(
+                    "  (info) {}/{}: {:.3} -> {:.3} (wall, not gated)",
+                    bp.label, key, base, cand
+                );
+                continue;
+            }
+            compared += 1;
+            if base.abs() < 1e-9 {
+                // No meaningful relative comparison against a zero
+                // baseline; report only.
+                println!(
+                    "  (info) {}/{}: {:.3} -> {:.3} (zero baseline)",
+                    bp.label, key, base, cand
+                );
+                continue;
+            }
+            let delta = if lower_is_better(key) {
+                (cand - base) / base
+            } else {
+                (base - cand) / base
+            };
+            if delta > threshold {
+                failures.push(format!(
+                    "{}/{} regressed {:.1}%: {:.4} -> {:.4}",
+                    bp.label,
+                    key,
+                    delta * 100.0,
+                    base,
+                    cand
+                ));
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!(
+            "bench_gate: PASS ({compared} metrics within {:.0}%)",
+            threshold * 100.0
+        );
+    } else {
+        eprintln!("bench_gate: FAIL — {} regression(s):", failures.len());
+        for f in &failures {
+            eprintln!("  {f}");
+        }
+        std::process::exit(1);
+    }
+}

@@ -1,12 +1,13 @@
 //! Figure 10: the Zipfian workload distributions used in the
 //! load-balancing evaluation.
 
-use smp_bench::{header, Scale};
+use smp_bench::{header, BenchRecorder, Scale};
 use smp_workload::ZipfWeights;
 
 fn main() {
     let scale = Scale::from_args();
     header("Figure 10 — Zipfian workload distributions", scale);
+    let mut rec = BenchRecorder::from_args("fig10_workload_dist", scale);
     let sizes: Vec<usize> = scale.pick(vec![100, 200], vec![100, 200, 300, 400]);
     for n in sizes {
         let z1 = ZipfWeights::zipf1(n);
@@ -32,7 +33,13 @@ fn main() {
             print!(" {:.3}", z10.share(k));
         }
         println!();
+        let label = format!("n={n}");
+        rec.metric(&label, "zipf1_head_share", z1.share(0));
+        rec.metric(&label, "zipf10_head_share", z10.share(0));
+        rec.metric(&label, "zipf1_top10pct_share", z1.top_share(n / 10));
+        rec.metric(&label, "zipf10_top10pct_share", z10.top_share(n / 10));
     }
+    rec.finish();
     println!("\nPaper reference points: with 100 replicas the most loaded replica receives ~0.196");
     println!("of the load under Zipf1 and ~0.041 under Zipf10 (Figure 10a).");
 }

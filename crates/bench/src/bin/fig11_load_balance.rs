@@ -1,7 +1,7 @@
 //! Figure 11: throughput under skewed workloads — S-HS with d ∈ {1,2,3},
 //! SMP-HS, gossip-based SMP, and the even-load upper bound (WAN).
 
-use smp_bench::{header, Scale};
+use smp_bench::{header, BenchRecorder, Scale};
 use smp_replica::{run, ExperimentConfig, Protocol};
 use smp_types::MICROS_PER_SEC;
 use smp_workload::LoadDistribution;
@@ -12,13 +12,18 @@ fn main() {
         "Figure 11 — throughput under unbalanced workloads (WAN)",
         scale,
     );
+    let mut rec = BenchRecorder::from_args("fig11_load_balance", scale);
 
     let sizes: Vec<usize> = scale.pick(vec![16, 32], vec![100, 200, 300, 400]);
     let rate = scale.pick(10_000.0, 40_000.0);
 
-    for (dist_label, dist) in [
-        ("Zipf1 (highly skewed)", LoadDistribution::zipf1()),
-        ("Zipf10 (lightly skewed)", LoadDistribution::zipf10()),
+    for (dist_label, dist_key, dist) in [
+        ("Zipf1 (highly skewed)", "zipf1", LoadDistribution::zipf1()),
+        (
+            "Zipf10 (lightly skewed)",
+            "zipf10",
+            LoadDistribution::zipf10(),
+        ),
     ] {
         println!("\n=== {dist_label} ===");
         println!(
@@ -40,16 +45,19 @@ fn main() {
                 "{:<14} {n:>6} {:>12.2} {:>12.1}",
                 "S-HS-Even", even.summary.throughput_ktps, even.summary.mean_latency_ms
             );
+            rec.result(&format!("{dist_key}/S-HS-Even/n={n}"), &even);
             let smp = run(&base(Protocol::SmpHotStuff));
             println!(
                 "{:<14} {n:>6} {:>12.2} {:>12.1}",
                 "SMP-HS", smp.summary.throughput_ktps, smp.summary.mean_latency_ms
             );
+            rec.result(&format!("{dist_key}/SMP-HS/n={n}"), &smp);
             let gossip = run(&base(Protocol::SmpHotStuffGossip));
             println!(
                 "{:<14} {n:>6} {:>12.2} {:>12.1}",
                 "SMP-HS-G", gossip.summary.throughput_ktps, gossip.summary.mean_latency_ms
             );
+            rec.result(&format!("{dist_key}/SMP-HS-G/n={n}"), &gossip);
             for d in [1usize, 2, 3] {
                 let r = run(&base(Protocol::StratusHotStuff).with_dlb_d(d));
                 println!(
@@ -58,9 +66,11 @@ fn main() {
                     r.summary.throughput_ktps,
                     r.summary.mean_latency_ms
                 );
+                rec.result(&format!("{dist_key}/S-HS-d{d}/n={n}"), &r);
             }
         }
     }
+    rec.finish();
     println!("\nExpected shape (paper Figure 11): under Zipf1 the load-balanced configurations");
     println!(
         "reach 5-10x the throughput of SMP-HS; d = 3 is best, and gossip does not scale under"

@@ -14,7 +14,7 @@
 //! paper-scale figure-12 setting: the WAN preset (100 Mb/s, 100 ms RTT)
 //! at n = 32.  `--net lan|wan` overrides the preset either way.
 
-use smp_bench::{arg_value, header, print_point, rate_grid, saturated, Scale};
+use smp_bench::{arg_value, header, print_point, rate_grid, saturated, BenchRecorder, Scale};
 use smp_replica::{ExperimentConfig, Protocol};
 use smp_types::{ExecutorKind, MICROS_PER_SEC};
 use std::time::Instant;
@@ -36,6 +36,7 @@ fn main() {
     let n = scale.pick(8, 32);
     let shard_counts: Vec<usize> = scale.pick(vec![1, 2, 4], vec![1, 2, 4, 8]);
     let rates = rate_grid(scale, wan);
+    let mut rec = BenchRecorder::from_args("fig12_sharding", scale);
 
     for protocol in [Protocol::StratusHotStuff, Protocol::Narwhal] {
         println!("\n--- {} (n = {n}) ---", protocol.label());
@@ -53,6 +54,11 @@ fn main() {
             let par = saturated(&cfg.clone().with_executor(ExecutorKind::Parallel), &rates);
             let par_wall = started.elapsed().as_secs_f64();
             print_point("shards", shards, &seq);
+            let label = format!("{}/k={shards}", protocol.label());
+            rec.result(&label, &seq);
+            rec.metric(&label, "par_throughput_ktps", par.summary.throughput_ktps);
+            rec.metric(&label, "seq_wall_secs", seq_wall);
+            rec.metric(&label, "par_wall_secs", par_wall);
             println!(
                 "             parallel: thr={:>9.2} KTx/s  parallel/sequential thr={:.3}  wall={:.3} (<1 = parallel faster)",
                 par.summary.throughput_ktps,
@@ -61,6 +67,7 @@ fn main() {
             );
         }
     }
+    rec.finish();
     println!("\nExpected shape: with one shard the sharded wrapper matches the unwrapped");
     println!("backend exactly; as k grows, dissemination work spreads over k independent");
     println!("pipelines per replica, so saturated throughput holds or improves while");

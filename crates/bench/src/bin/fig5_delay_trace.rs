@@ -2,7 +2,7 @@
 //! with the statistical shape of the paper's Virginia ↔ Singapore
 //! measurements).
 
-use smp_bench::{header, Scale};
+use smp_bench::{header, BenchRecorder, Scale};
 use smp_workload::{DelayTrace, TraceConfig};
 
 fn main() {
@@ -30,6 +30,11 @@ fn main() {
         println!("  p{p:<4} = {:.2} ms", trace.minute_percentile(minute, p));
     }
     println!("\nmean over the trace: {:.2} ms", trace.mean_ms());
+    let mut rec = BenchRecorder::from_args("fig5_delay_trace", scale);
+    rec.metric("trace", "mean_ms", trace.mean_ms());
+    rec.metric("trace", "p50_ms", trace.minute_percentile(minute, 50.0));
+    rec.metric("trace", "p99_ms", trace.minute_percentile(minute, 99.0));
+    rec.finish();
     println!(
         "=> delays are stable and predictable, which is what the stable-time estimator relies on."
     );

@@ -1,7 +1,7 @@
 //! Figure 6: throughput vs latency for S-HS as the microblock batch size
 //! and the offered load vary (LAN, 128-byte payloads).
 
-use smp_bench::{header, Scale};
+use smp_bench::{header, BenchRecorder, Scale};
 use smp_replica::{run, ExperimentConfig, Protocol};
 use smp_types::MICROS_PER_SEC;
 
@@ -11,6 +11,7 @@ fn main() {
         "Figure 6 — throughput vs latency across batch sizes (S-HS, LAN)",
         scale,
     );
+    let mut rec = BenchRecorder::from_args("fig6_batch_size", scale);
 
     // (network size, batch sizes) pairs as in the paper; quick mode scales
     // the replica counts down but keeps the batch-size sweep.
@@ -47,9 +48,11 @@ fn main() {
                     r.summary.throughput_ktps,
                     r.summary.mean_latency_ms
                 );
+                rec.result(&format!("n{n}/b{}k/load{load}", batch / 1024), &r);
             }
         }
     }
+    rec.finish();
     println!("\nExpected shape: larger batches raise the achievable throughput (fewer acks per");
     println!("transaction) at the cost of higher latency; larger networks need larger batches.");
 }

@@ -2,8 +2,11 @@
 //! saturated throughput and latency as the replica count grows.
 //!
 //! `--net lan` (default) or `--net wan`; `--quick` / `--full`.
+//! `--sizes 16,32` overrides the replica-count grid — CI uses this to
+//! keep the recorded-baseline run bounded (the O(n^2) protocols make
+//! n = 64 an hour-scale simulation on one core).
 
-use smp_bench::{arg_value, header, print_point, rate_grid, saturated, Scale};
+use smp_bench::{arg_value, header, print_point, rate_grid, saturated, BenchRecorder, Scale};
 use smp_replica::{ExperimentConfig, Protocol};
 use smp_types::MICROS_PER_SEC;
 
@@ -15,8 +18,15 @@ fn main() {
         &format!("Figure 7 — scalability ({})", net.to_uppercase()),
         scale,
     );
+    let mut rec = BenchRecorder::from_args("fig7_scalability", scale);
 
-    let sizes: Vec<usize> = scale.pick(vec![16, 32, 64], vec![16, 64, 128, 256, 400]);
+    let sizes: Vec<usize> = match arg_value("--sizes") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("--sizes takes replica counts"))
+            .collect(),
+        None => scale.pick(vec![16, 32, 64], vec![16, 64, 128, 256, 400]),
+    };
     let rates = rate_grid(scale, wan);
 
     for n in sizes {
@@ -30,8 +40,10 @@ fn main() {
             }
             let best = saturated(&cfg, &rates);
             print_point("n", n, &best);
+            rec.result(&format!("{net}/n={n}/{}", best.summary.label), &best);
         }
     }
+    rec.finish();
     println!("\nExpected shape (paper Figure 7): the native protocols collapse as n grows; the");
     println!("shared-mempool protocols stay flat, with S-HS/S-PBFT ahead of Narwhal (O(n^2) RB)");
     println!("and MirBFT; at 128+ replicas the gap to the native baselines reaches 5-20x.");

@@ -3,7 +3,7 @@
 //! rate of 25 KTx/s in the WAN setting.
 
 use simnet::FaultWindow;
-use smp_bench::{header, Scale};
+use smp_bench::{header, BenchRecorder, Scale};
 use smp_replica::{run, ExperimentConfig, Protocol};
 use smp_types::MICROS_PER_SEC;
 
@@ -26,6 +26,7 @@ fn main() {
         max_delay_us: 300_000,
     };
 
+    let mut rec = BenchRecorder::from_args("fig8_asynchrony", scale);
     let mut series = Vec::new();
     for protocol in [Protocol::SmpHotStuff, Protocol::StratusHotStuff] {
         let cfg = ExperimentConfig::new(protocol, n, rate)
@@ -39,8 +40,10 @@ fn main() {
             r.committed_txs,
             r.view_changes
         );
+        rec.result(protocol.label(), &r);
         series.push((protocol.label(), r.throughput_series.clone()));
     }
+    rec.finish();
 
     println!(
         "\nper-second committed throughput (KTx/s); fluctuation during t = {fluct_start}..{} s",

@@ -1,13 +1,14 @@
 //! Figure 9: throughput and latency as the number of Byzantine senders
 //! grows — SMP-HS vs S-HS with the f+1 and 2f+1 PAB quorums (LAN).
 
-use smp_bench::{header, Scale};
+use smp_bench::{header, BenchRecorder, Scale};
 use smp_replica::{run, ExperimentConfig, Protocol};
 use smp_types::MICROS_PER_SEC;
 
 fn main() {
     let scale = Scale::from_args();
     header("Figure 9 — impact of Byzantine senders (LAN)", scale);
+    let mut rec = BenchRecorder::from_args("fig9_byzantine", scale);
 
     // (network size, byzantine counts) as in the paper; scaled down in
     // quick mode.
@@ -47,9 +48,11 @@ fn main() {
                     "{label:<10} {byz:>6} {:>12.2} {:>12.1} {:>8}",
                     r.summary.throughput_ktps, r.summary.mean_latency_ms, r.view_changes
                 );
+                rec.result(&format!("n={n}/byz={byz}/{label}"), &r);
             }
         }
     }
+    rec.finish();
     println!(
         "\nExpected shape (paper Figure 9): SMP-HS throughput collapses and latency surges as"
     );

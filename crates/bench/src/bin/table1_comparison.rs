@@ -2,7 +2,7 @@
 //! load balancing, and *measured* per-microblock message complexity on our
 //! substrate.
 
-use smp_bench::{header, Scale};
+use smp_bench::{header, BenchRecorder, Scale};
 use smp_replica::{run, ExperimentConfig, Protocol};
 
 fn main() {
@@ -11,6 +11,7 @@ fn main() {
         "Table I — existing work addressing the leader bottleneck",
         scale,
     );
+    let mut rec = BenchRecorder::from_args("table1_comparison", scale);
     let n = scale.pick(16, 64);
     let rate = 10_000.0;
 
@@ -62,6 +63,11 @@ fn main() {
                 "n"
             }
         );
+        rec.result(protocol.label(), &result);
+        if msgs.is_finite() {
+            rec.metric(protocol.label(), "msgs_per_microblock", msgs);
+        }
     }
+    rec.finish();
     println!("\n(The qualitative columns restate Table I; the last column is measured on the simulator.)");
 }

@@ -1,7 +1,7 @@
 //! Table III: outbound bandwidth consumption by role and message type for
 //! N-HS, SMP-HS and S-HS with 64 replicas and 100 Mb/s per replica.
 
-use smp_bench::{header, rate_grid, saturated, Scale};
+use smp_bench::{header, rate_grid, saturated, BenchRecorder, Scale};
 use smp_replica::{ExperimentConfig, Protocol};
 use smp_types::MICROS_PER_SEC;
 
@@ -11,6 +11,7 @@ fn main() {
         "Table III — outbound bandwidth by role and message type (WAN, saturated)",
         scale,
     );
+    let mut rec = BenchRecorder::from_args("table3_bandwidth", scale);
     let n = scale.pick(16, 64);
     let rates = rate_grid(scale, true);
 
@@ -29,10 +30,13 @@ fn main() {
             best.offered_tps
         );
         println!("{:<12} {:<14} {:>10}", "role", "message", "Mb/s");
+        rec.result(protocol.label(), &best);
         for (role, kind, mbps) in best.bandwidth.rows() {
             println!("{role:<12} {kind:<14} {mbps:>10.1}");
+            rec.metric(protocol.label(), &format!("{role}.{kind}_mbps"), mbps);
         }
     }
+    rec.finish();
     println!("\nExpected shape (paper Table III): N-HS concentrates its outbound bandwidth in the");
     println!("leader's proposals while non-leaders sit almost idle; SMP-HS and S-HS spread the");
     println!(

@@ -5,6 +5,12 @@
 //! accept `--quick` (default: a scaled-down run that finishes in minutes
 //! on a laptop) and `--full` (the paper-scale parameter grid).
 
+pub mod artifact;
+
+pub use artifact::{
+    write_artifact, BenchArtifact, BenchPoint, BenchRecorder, BENCH_SCHEMA_VERSION,
+};
+
 use smp_replica::{ExperimentConfig, ExperimentResult};
 
 /// Harness scale selected on the command line.

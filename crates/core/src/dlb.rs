@@ -12,6 +12,7 @@
 use crate::config::DlbConfig;
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
+use smp_telemetry::Telemetry;
 use smp_types::{Microblock, MicroblockId, ReplicaId, SimTime};
 use std::collections::{HashMap, HashSet};
 
@@ -68,6 +69,8 @@ pub struct LoadBalancer {
     next_token: u64,
     forwarded_total: u64,
     proxied_total: u64,
+    /// Observability only — never consulted by any decision path.
+    telemetry: Telemetry,
 }
 
 impl LoadBalancer {
@@ -85,7 +88,14 @@ impl LoadBalancer {
             next_token: 1,
             forwarded_total: 0,
             proxied_total: 0,
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Installs a telemetry handle (counters only; decisions are
+    /// unaffected whether the handle is live or disabled).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Whether load balancing is enabled.
@@ -135,13 +145,16 @@ impl LoadBalancer {
     pub fn ban(&mut self, peer: ReplicaId) {
         if peer != self.me {
             self.imposed.insert(peer);
+            self.telemetry.counter_inc("dlb.bans");
         }
     }
 
     /// Lifts an imposed ban (owned bans are lifted by the proof
     /// round-trip, `on_proof_received`).
     pub fn unban(&mut self, peer: ReplicaId) {
-        self.imposed.remove(&peer);
+        if self.imposed.remove(&peer) {
+            self.telemetry.counter_inc("dlb.unbans");
+        }
     }
 
     /// Replaces the imposed ban view with a coordinator-supplied
@@ -238,13 +251,17 @@ impl LoadBalancer {
                 );
                 self.forwarded_by_id.insert(round.mb.id, token);
                 self.forwarded_total += 1;
+                self.telemetry.counter_inc("dlb.forwarded");
                 Some(ForwardDecision::Forward {
                     proxy,
                     mb: round.mb,
                     token,
                 })
             }
-            None => Some(ForwardDecision::SelfBroadcast { mb: round.mb }),
+            None => {
+                self.telemetry.counter_inc("dlb.self_broadcast");
+                Some(ForwardDecision::SelfBroadcast { mb: round.mb })
+            }
         }
     }
 
@@ -255,6 +272,7 @@ impl LoadBalancer {
         let token = self.forwarded_by_id.remove(id)?;
         let pending = self.forwards.remove(&token)?;
         self.banlist.remove(&pending.proxy);
+        self.telemetry.counter_inc("dlb.unbans");
         Some(pending.proxy)
     }
 
@@ -271,6 +289,7 @@ impl LoadBalancer {
     pub fn reset_banlist(&mut self) {
         self.banlist.clear();
         self.imposed.clear();
+        self.telemetry.counter_inc("dlb.banlist_reset");
     }
 
     /// The banList reset interval from the configuration.

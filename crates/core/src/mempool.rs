@@ -13,6 +13,7 @@ use smp_mempool::{
     Effects, FetchRetryState, FillStatus, FillTracker, Mempool, MempoolEvent, MempoolStats,
     MicroblockStore, ProposalQueue, TimerTag, TxBatcher, BATCH_TIMEOUT_TAG,
 };
+use smp_telemetry::Telemetry;
 use smp_types::{
     Microblock, MicroblockId, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig,
     Transaction, WireSize,
@@ -49,6 +50,7 @@ pub struct StratusMempool {
     deferred: VecDeque<(Microblock, Option<ReplicaId>)>,
     started: bool,
     created: u64,
+    telemetry: Telemetry,
 }
 
 impl StratusMempool {
@@ -82,6 +84,7 @@ impl StratusMempool {
             deferred: VecDeque::new(),
             started: false,
             created: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -131,6 +134,9 @@ impl StratusMempool {
         effects: &mut Effects<StratusMsg>,
     ) {
         self.created += 1;
+        self.telemetry.counter_inc("batcher.sealed");
+        self.telemetry
+            .counter_add("batcher.sealed_txs", mb.len() as u64);
         self.store.insert(mb.clone());
         if self.lb.enabled() && self.estimator.is_busy() {
             // Cloning is cheap: the transaction batch is shared via `Arc`.
@@ -165,6 +171,7 @@ impl StratusMempool {
                 return;
             }
         }
+        self.telemetry.counter_inc("pab.push");
         self.pab.start_push(&mb, now, origin);
         effects.broadcast(StratusMsg::PabMsg(mb));
     }
@@ -192,6 +199,7 @@ impl StratusMempool {
                     .filter(|r| *r != self.me)
                     .collect();
                 let action = self.fetcher.register(vec![id], candidates);
+                self.telemetry.counter_inc("fetcher.fetch");
                 effects.multicast(targets, StratusMsg::PabRequest { ids: vec![id] });
                 effects.timer(self.config.fetch_timeout, action.tag);
                 effects.event(MempoolEvent::FetchIssued { count: 1 });
@@ -254,6 +262,7 @@ impl Mempool for StratusMempool {
     ) -> Effects<StratusMsg> {
         let mut effects = Effects::none();
         self.ensure_started(&mut effects);
+        let _span = self.telemetry.span_at("batcher.add", now);
         let outcome = self.batcher.add(now, txs);
         if outcome.arm_timer {
             effects.timer(self.batcher.timeout(), BATCH_TIMEOUT_TAG);
@@ -294,6 +303,9 @@ impl Mempool for StratusMempool {
             }
             StratusMsg::PabAck { id, sig } => {
                 if let Some(ready) = self.pab.on_ack(id, sig, now) {
+                    self.telemetry.counter_inc("pab.stable");
+                    self.telemetry
+                        .observe_us("pab.stable_time", ready.stable_time);
                     self.estimator.record(ready.stable_time);
                     effects.event(MempoolEvent::MicroblockStable {
                         id,
@@ -510,6 +522,7 @@ impl Mempool for StratusMempool {
                     continue;
                 }
                 let action = self.fetcher.register(vec![r.id], candidates);
+                self.telemetry.counter_inc("fetcher.fetch");
                 let request_targets = if targets.is_empty() {
                     vec![action.target]
                 } else {
@@ -537,6 +550,11 @@ impl Mempool for StratusMempool {
             effects.event(ev);
         }
         effects
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.lb.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     fn stats(&self) -> MempoolStats {

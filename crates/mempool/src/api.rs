@@ -16,6 +16,7 @@
 //!   tells consensus whether it may enter the commit phase immediately).
 
 use rand::rngs::SmallRng;
+use smp_telemetry::Telemetry;
 use smp_types::{BlockId, MicroblockId, Payload, Proposal, ReplicaId, SimTime, Transaction};
 
 /// Timer tag namespace owned by a mempool instance.
@@ -211,6 +212,13 @@ pub trait Mempool {
 
     /// Current counters.
     fn stats(&self) -> MempoolStats;
+
+    /// Installs a telemetry handle (already prefixed for this replica).
+    /// Implementations that instrument their hot paths store it; the
+    /// default ignores it, so plain mempools need no changes.  Telemetry
+    /// must never influence behavior — results have to stay byte-identical
+    /// whether the handle is live or disabled.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
 }
 
 #[cfg(test)]

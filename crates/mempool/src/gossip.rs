@@ -15,6 +15,7 @@ use crate::simple::DEFAULT_FETCH_TIMEOUT;
 use crate::store::{FillTracker, MicroblockStore, ProposalQueue};
 use rand::rngs::SmallRng;
 use rand::seq::SliceRandom;
+use smp_telemetry::Telemetry;
 use smp_types::{
     Microblock, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig, Transaction,
 };
@@ -40,6 +41,7 @@ pub struct GossipSmp {
     fetcher: FetchRetryState,
     created: u64,
     relayed: u64,
+    telemetry: Telemetry,
 }
 
 impl GossipSmp {
@@ -62,6 +64,7 @@ impl GossipSmp {
             fetcher: FetchRetryState::new(DEFAULT_FETCH_TIMEOUT),
             created: 0,
             relayed: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -108,6 +111,7 @@ impl Mempool for GossipSmp {
         txs: Vec<Transaction>,
         rng: &mut SmallRng,
     ) -> Effects<SmpMsg> {
+        let _span = self.telemetry.span_at("batcher.add", now);
         let mut effects = Effects::none();
         let outcome = self.batcher.add(now, txs);
         if outcome.arm_timer {
@@ -115,6 +119,7 @@ impl Mempool for GossipSmp {
         }
         for mb in outcome.sealed {
             self.created += 1;
+            self.telemetry.counter_inc("batcher.sealed");
             self.queue.push(mb.id);
             self.store.insert(mb.clone());
             self.gossip_out(mb, MAX_HOPS, &[], rng, &mut effects);
@@ -151,6 +156,7 @@ impl Mempool for GossipSmp {
                 self.fetcher.prune(&self.store);
                 // Relay on first receipt.
                 self.relayed += 1;
+                self.telemetry.counter_inc("gossip.relayed");
                 self.gossip_out(
                     mb,
                     hops.saturating_sub(1),
@@ -264,6 +270,8 @@ impl Mempool for GossipSmp {
         if missing.is_empty() {
             return (FillStatus::Ready, effects);
         }
+        self.telemetry
+            .counter_add("fetcher.fetch", missing.len() as u64);
         self.tracker.track(proposal, missing.clone(), true);
         // Fetch from the creators first, then fall back to the proposer.
         let mut candidates = creators;
@@ -300,6 +308,10 @@ impl Mempool for GossipSmp {
             forwarded_microblocks: self.relayed,
             fetches_issued: self.fetcher.issued(),
         }
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 }
 

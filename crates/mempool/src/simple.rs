@@ -14,6 +14,7 @@ use crate::fetcher::FetchRetryState;
 use crate::messages::SmpMsg;
 use crate::store::{FillTracker, MicroblockStore, ProposalQueue};
 use rand::rngs::SmallRng;
+use smp_telemetry::Telemetry;
 use smp_types::{
     Microblock, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig, Transaction,
 };
@@ -32,6 +33,7 @@ pub struct SimpleSmp {
     tracker: FillTracker,
     fetcher: FetchRetryState,
     created: u64,
+    telemetry: Telemetry,
 }
 
 impl SimpleSmp {
@@ -46,6 +48,7 @@ impl SimpleSmp {
             tracker: FillTracker::new(),
             fetcher: FetchRetryState::new(DEFAULT_FETCH_TIMEOUT),
             created: 0,
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -61,6 +64,9 @@ impl SimpleSmp {
 
     fn disseminate(&mut self, mb: Microblock, effects: &mut Effects<SmpMsg>) {
         self.created += 1;
+        self.telemetry.counter_inc("batcher.sealed");
+        self.telemetry
+            .counter_add("batcher.sealed_txs", mb.len() as u64);
         self.queue.push(mb.id);
         self.store.insert(mb.clone());
         effects.broadcast(SmpMsg::Microblock(mb));
@@ -71,6 +77,7 @@ impl SimpleSmp {
         if !self.store.insert(mb) {
             return;
         }
+        self.telemetry.counter_inc("dissemination.mb_in");
         // Newly learned microblocks become proposable by this replica too.
         self.queue.push(id);
         for ev in self.tracker.on_microblock(id, &self.store, now) {
@@ -89,6 +96,7 @@ impl Mempool for SimpleSmp {
         txs: Vec<Transaction>,
         _rng: &mut SmallRng,
     ) -> Effects<SmpMsg> {
+        let _span = self.telemetry.span_at("batcher.add", now);
         let mut effects = Effects::none();
         let outcome = self.batcher.add(now, txs);
         if outcome.arm_timer {
@@ -144,6 +152,7 @@ impl Mempool for SimpleSmp {
             }
         } else if FetchRetryState::owns_tag(tag) {
             if let Some(action) = self.fetcher.on_timer(tag, &self.store) {
+                self.telemetry.counter_inc("fetcher.retry");
                 effects.send(action.target, SmpMsg::Fetch { ids: action.ids });
                 effects.timer(self.fetcher.timeout, action.tag);
             }
@@ -199,6 +208,8 @@ impl Mempool for SimpleSmp {
         }
         // Best-effort SMP: consensus is blocked; fetch everything from the
         // leader that proposed it (Section III-E, Problem-I).
+        self.telemetry
+            .counter_add("fetcher.fetch", missing.len() as u64);
         self.tracker.track(proposal, missing.clone(), true);
         let action = self
             .fetcher
@@ -233,6 +244,10 @@ impl Mempool for SimpleSmp {
             forwarded_microblocks: 0,
             fetches_issued: self.fetcher.issued(),
         }
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 }
 

@@ -9,10 +9,12 @@
 
 pub mod bandwidth;
 pub mod histogram;
+pub mod json;
 pub mod summary;
 pub mod throughput;
 
 pub use bandwidth::{bytes_to_mbps, BandwidthBreakdown, RoleBandwidth};
 pub use histogram::LatencyHistogram;
+pub use json::{JsonError, JsonValue};
 pub use summary::RunSummary;
 pub use throughput::ThroughputMeter;

@@ -1,8 +1,9 @@
 //! Per-run summaries: the numbers a single experiment point reports.
 
-use crate::bandwidth::BandwidthBreakdown;
-use crate::histogram::LatencyHistogram;
+use crate::bandwidth::{BandwidthBreakdown, RoleBandwidth};
+use crate::json::{JsonError, JsonValue};
 use crate::throughput::ThroughputMeter;
+use crate::LatencyHistogram;
 use serde::Serialize;
 use smp_types::SimTime;
 
@@ -66,6 +67,102 @@ impl RunSummary {
         self
     }
 
+    /// Serializes the summary as a [`JsonValue`] object (the shape used
+    /// inside `BENCH_*.json` artifacts).
+    pub fn to_json(&self) -> JsonValue {
+        let role_json = |role: &RoleBandwidth| {
+            JsonValue::Object(
+                role.mbps_by_kind
+                    .iter()
+                    .map(|(kind, mbps)| (kind.clone(), JsonValue::Number(*mbps)))
+                    .collect(),
+            )
+        };
+        let mut pairs = vec![
+            ("label".to_string(), JsonValue::String(self.label.clone())),
+            ("n".to_string(), JsonValue::Number(self.n as f64)),
+            (
+                "window_us".to_string(),
+                JsonValue::Number(self.window_us as f64),
+            ),
+            (
+                "throughput_ktps".to_string(),
+                JsonValue::Number(self.throughput_ktps),
+            ),
+            (
+                "mean_latency_ms".to_string(),
+                JsonValue::Number(self.mean_latency_ms),
+            ),
+            (
+                "p50_latency_ms".to_string(),
+                JsonValue::Number(self.p50_latency_ms),
+            ),
+            (
+                "p95_latency_ms".to_string(),
+                JsonValue::Number(self.p95_latency_ms),
+            ),
+            (
+                "p99_latency_ms".to_string(),
+                JsonValue::Number(self.p99_latency_ms),
+            ),
+            (
+                "view_changes".to_string(),
+                JsonValue::Number(self.view_changes as f64),
+            ),
+            (
+                "committed_txs".to_string(),
+                JsonValue::Number(self.committed_txs as f64),
+            ),
+        ];
+        if let Some(bw) = &self.bandwidth {
+            pairs.push((
+                "bandwidth".to_string(),
+                JsonValue::Object(vec![
+                    ("leader".to_string(), role_json(&bw.leader)),
+                    ("non_leader".to_string(), role_json(&bw.non_leader)),
+                ]),
+            ));
+        }
+        JsonValue::Object(pairs)
+    }
+
+    /// Reconstructs a summary from the object shape [`to_json`](Self::to_json)
+    /// emits.  Missing numeric fields default to zero.
+    pub fn from_json(value: &JsonValue) -> Result<Self, JsonError> {
+        let field = |key: &str| value.get(key).and_then(JsonValue::as_f64).unwrap_or(0.0);
+        let role_from = |value: Option<&JsonValue>| {
+            let mut role = RoleBandwidth::default();
+            if let Some(pairs) = value.and_then(JsonValue::as_object) {
+                for (kind, mbps) in pairs {
+                    if let Some(mbps) = mbps.as_f64() {
+                        role.mbps_by_kind.insert(kind.clone(), mbps);
+                    }
+                }
+            }
+            role
+        };
+        Ok(RunSummary {
+            label: value
+                .get("label")
+                .and_then(JsonValue::as_str)
+                .unwrap_or_default()
+                .to_string(),
+            n: field("n") as usize,
+            window_us: field("window_us") as SimTime,
+            throughput_ktps: field("throughput_ktps"),
+            mean_latency_ms: field("mean_latency_ms"),
+            p50_latency_ms: field("p50_latency_ms"),
+            p95_latency_ms: field("p95_latency_ms"),
+            p99_latency_ms: field("p99_latency_ms"),
+            view_changes: field("view_changes") as u64,
+            committed_txs: field("committed_txs") as u64,
+            bandwidth: value.get("bandwidth").map(|bw| BandwidthBreakdown {
+                leader: role_from(bw.get("leader")),
+                non_leader: role_from(bw.get("non_leader")),
+            }),
+        })
+    }
+
     /// One-line, figure-style rendering:
     /// `label  n=..  thr=..KTx/s  lat=..ms (p95=..)  vc=..`.
     pub fn to_row(&self) -> String {
@@ -111,6 +208,58 @@ mod tests {
         let s = RunSummary::from_measurements("x", 4, &tput, &mut lat, 0, 0, MICROS_PER_SEC);
         assert_eq!(s.throughput_ktps, 0.0);
         assert_eq!(s.mean_latency_ms, 0.0);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_every_field() {
+        let mut tput = ThroughputMeter::new();
+        tput.record(500_000, 30_000);
+        let mut lat = LatencyHistogram::new();
+        for v in [1_000, 2_000, 3_000, 100_000] {
+            lat.record(v);
+        }
+        let mut leader = std::collections::HashMap::new();
+        leader.insert("proposal", 12_500_000u64);
+        let non_leader = std::collections::HashMap::new();
+        let s = RunSummary::from_measurements("S-HS", 64, &tput, &mut lat, 2, 0, MICROS_PER_SEC)
+            .with_bandwidth(BandwidthBreakdown::from_bytes(
+                &leader,
+                1,
+                &non_leader,
+                63,
+                MICROS_PER_SEC,
+            ));
+        let text = s.to_json().to_pretty();
+        let back = RunSummary::from_json(&crate::json::JsonValue::parse(&text).unwrap()).unwrap();
+        assert_eq!(back.label, s.label);
+        assert_eq!(back.n, s.n);
+        assert_eq!(back.window_us, s.window_us);
+        assert_eq!(back.throughput_ktps, s.throughput_ktps);
+        assert_eq!(back.mean_latency_ms, s.mean_latency_ms);
+        assert_eq!(back.p50_latency_ms, s.p50_latency_ms);
+        assert_eq!(back.p95_latency_ms, s.p95_latency_ms);
+        assert_eq!(back.p99_latency_ms, s.p99_latency_ms);
+        assert_eq!(back.view_changes, s.view_changes);
+        assert_eq!(back.committed_txs, s.committed_txs);
+        let bw = back.bandwidth.as_ref().unwrap();
+        assert_eq!(
+            bw.leader.mbps("proposal"),
+            s.bandwidth.as_ref().unwrap().leader.mbps("proposal")
+        );
+        assert!(bw.non_leader.mbps_by_kind.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_without_bandwidth() {
+        let tput = ThroughputMeter::new();
+        let mut lat = LatencyHistogram::new();
+        let s = RunSummary::from_measurements("x", 4, &tput, &mut lat, 0, 0, MICROS_PER_SEC);
+        let back = RunSummary::from_json(
+            &crate::json::JsonValue::parse(&s.to_json().to_compact()).unwrap(),
+        )
+        .unwrap();
+        assert_eq!(back.label, "x");
+        assert!(back.bandwidth.is_none());
     }
 
     #[test]

@@ -109,6 +109,33 @@ mod tests {
     }
 
     #[test]
+    fn window_boundaries_are_half_open() {
+        let mut m = ThroughputMeter::new();
+        m.record(1_000_000, 7);
+        // `from` is inclusive, `to` is exclusive.
+        assert_eq!(m.total_in(1_000_000, 1_000_001), 7);
+        assert_eq!(m.total_in(0, 1_000_000), 0);
+        assert_eq!(m.total_in(1_000_001, 2_000_000), 0);
+    }
+
+    #[test]
+    fn series_bucket_boundaries() {
+        let mut m = ThroughputMeter::new();
+        m.record(0, 1); // first instant of bucket 0
+        m.record(999_999, 2); // last instant of bucket 0
+        m.record(1_000_000, 4); // first instant of bucket 1
+        m.record(2_999_999, 8); // last instant inside the horizon
+        m.record(3_000_000, 16); // at the horizon: excluded
+        let s = m.series_tps(MICROS_PER_SEC, 3 * MICROS_PER_SEC);
+        assert_eq!(s, vec![3.0, 4.0, 8.0]);
+        // A horizon that is not a bucket multiple rounds the bucket count up,
+        // and the event sitting exactly at 3 s now falls inside it.
+        let s = m.series_tps(MICROS_PER_SEC, 3 * MICROS_PER_SEC + 1);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s[3], 16.0);
+    }
+
+    #[test]
     fn series_buckets_events() {
         let mut m = ThroughputMeter::new();
         m.record(100_000, 10);

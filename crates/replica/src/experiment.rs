@@ -6,7 +6,7 @@
 use crate::protocols::Protocol;
 use crate::replica::{Behavior, Replica};
 use crate::wire::MempoolWire;
-use simnet::{FaultWindow, NetConfig, Node, Simulation};
+use simnet::{FaultWindow, NetConfig, Node, Simulation, Telemetry};
 use smp_consensus::{ConsensusEngine, HotStuffEngine, MirBftEngine, PbftEngine, StreamletEngine};
 use smp_mempool::{GossipSmp, Mempool, NarwhalMempool, NativeMempool, SimpleSmp};
 use smp_metrics::{bytes_to_mbps, BandwidthBreakdown, RoleBandwidth, RunSummary};
@@ -63,6 +63,10 @@ pub struct ExperimentConfig {
     /// one worker thread per shard (`Parallel`).  Byte-identical results
     /// either way on the same seed; irrelevant when `shards == 1`.
     pub executor: ExecutorKind,
+    /// Whether to attach a live [`Telemetry`] sink to the run (metrics
+    /// registry + span tracer, exposed on [`ExperimentResult::telemetry`]).
+    /// Off by default; results are byte-identical either way.
+    pub telemetry: bool,
 }
 
 impl ExperimentConfig {
@@ -90,7 +94,14 @@ impl ExperimentConfig {
             // The CI matrix exports SMP_EXECUTOR to run the whole suite
             // under both executors; explicit `with_executor` overrides.
             executor: ExecutorKind::from_env(),
+            telemetry: false,
         }
+    }
+
+    /// Enables (or disables) the telemetry sink for this run.
+    pub fn with_telemetry(mut self, enabled: bool) -> Self {
+        self.telemetry = enabled;
+        self
     }
 
     /// Sets the number of shared-mempool dissemination shards.
@@ -239,6 +250,10 @@ pub struct ExperimentResult {
     /// stability and fetch event, in emission order).  This is what the
     /// cross-executor conformance suite compares byte-for-byte.
     pub observations: simnet::ObservationLog,
+    /// The run's telemetry sink: metrics registry and span trace.
+    /// Disabled (and empty) unless the configuration set
+    /// [`ExperimentConfig::telemetry`].
+    pub telemetry: Telemetry,
 }
 
 impl ExperimentResult {
@@ -340,14 +355,25 @@ where
     let rates = config.workload.rates(config.n);
     let prioritize = config.protocol.is_stratus();
     let observer = 0usize;
+    let telemetry = if config.telemetry {
+        Telemetry::new()
+    } else {
+        Telemetry::disabled()
+    };
     let nodes: Vec<Replica<E, M>> = (0..config.n)
         .map(|i| {
             let id = ReplicaId(i as u32);
+            let mut mempool = make_mempool(sys, id);
+            mempool.set_telemetry(
+                telemetry
+                    .with_prefix(&format!("replica.{i}"))
+                    .with_track(i as u32),
+            );
             Replica::new(
                 sys,
                 id,
                 make_engine(sys, id),
-                make_mempool(sys, id),
+                mempool,
                 config.behavior_for(i),
                 rates[i],
                 prioritize,
@@ -355,11 +381,12 @@ where
             )
         })
         .collect();
-    let mut sim = Simulation::new(nodes, config.net_config(), config.seed);
+    let mut sim =
+        Simulation::new(nodes, config.net_config(), config.seed).with_telemetry(telemetry.clone());
     let horizon = config.warmup + config.duration;
     sim.run_until(horizon);
 
-    collect_results(config, sim, observer, horizon)
+    collect_results(config, sim, observer, horizon, telemetry)
 }
 
 fn collect_results<E, M>(
@@ -367,6 +394,7 @@ fn collect_results<E, M>(
     mut sim: Simulation<Replica<E, M>>,
     observer: usize,
     horizon: SimTime,
+    telemetry: Telemetry,
 ) -> ExperimentResult
 where
     E: ConsensusEngine,
@@ -434,6 +462,7 @@ where
         committed_txs: committed,
         offered_tps: config.workload.total_rate_tps,
         observations,
+        telemetry,
     }
 }
 
@@ -525,6 +554,37 @@ mod tests {
             stratus.summary.throughput_ktps,
             smp.summary.throughput_ktps
         );
+    }
+
+    #[test]
+    fn telemetry_leaves_results_byte_identical_and_fills_the_registry() {
+        let cfg = quick(Protocol::StratusHotStuff, 4, 2_000.0);
+        let plain = run(&cfg);
+        let traced = run(&cfg.clone().with_telemetry(true));
+        assert_eq!(
+            plain.observations, traced.observations,
+            "telemetry changed the observation log"
+        );
+        assert_eq!(plain.committed_txs, traced.committed_txs);
+        assert!(!plain.telemetry.is_enabled());
+        assert!(traced.telemetry.is_enabled());
+        let snap = traced.telemetry.snapshot();
+        assert!(
+            snap.counter("replica.0.net.msgs_out").unwrap_or(0) > 0,
+            "per-replica net counters missing"
+        );
+        assert!(
+            snap.counter("replica.0.commit.txs").unwrap_or(0) > 0,
+            "commit counters missing"
+        );
+        assert!(
+            snap.counter("replica.0.batcher.sealed").unwrap_or(0) > 0,
+            "mempool batcher counters missing"
+        );
+        assert!(traced.telemetry.trace_len() > 0, "no spans recorded");
+        let profile = traced.telemetry.profile();
+        assert!(profile.contains_key("simnet.deliver"));
+        assert!(profile.contains_key("replica.mempool.on_message"));
     }
 
     #[test]

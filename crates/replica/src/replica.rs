@@ -165,13 +165,17 @@ where
         let now = ctx.now();
         match ev {
             CEvent::NeedPayload { view } => {
+                let span = ctx.telemetry().span_at("replica.make_payload", now);
                 let payload = self.mempool.make_payload(now);
+                drop(span);
                 let fx = self.engine.on_payload(now, view, payload);
                 self.apply_consensus_effects(ctx, fx);
             }
             CEvent::VerifyProposal { proposal } => {
                 self.known_proposals.insert(proposal.id, proposal.view);
+                let span = ctx.telemetry().span_at("replica.verify_proposal", now);
                 let (status, mfx) = self.mempool.on_proposal(now, &proposal, ctx.rng());
+                drop(span);
                 self.apply_mempool_effects(ctx, mfx);
                 match status {
                     FillStatus::Ready => {
@@ -209,7 +213,9 @@ where
 
     fn handle_commit(&mut self, ctx: &mut NodeCtx<'_, ReplicaMsg<M::Msg>>, proposal: Proposal) {
         let now = ctx.now();
+        let span = ctx.telemetry().span_at("replica.commit", now);
         let fx = self.mempool.on_commit(now, &proposal);
+        drop(span);
         self.apply_mempool_effects(ctx, fx);
     }
 
@@ -287,12 +293,14 @@ where
                 ..
             } => {
                 self.metrics.throughput.record(now, tx_count as u64);
+                ctx.telemetry().counter_add("commit.txs", tx_count as u64);
                 let mut latency_sum = 0u64;
                 let mut latency_count = 0u32;
                 for t in &receive_times {
                     let lat = now.saturating_sub(*t);
                     latency_sum += lat;
                     latency_count += 1;
+                    ctx.telemetry().observe_us("commit.latency", lat);
                     if self.record_latencies {
                         self.metrics.latency.record(lat);
                     }
@@ -349,11 +357,15 @@ where
         let now = ctx.now();
         match msg.payload {
             ReplicaPayload::Consensus(cm) => {
+                let span = ctx.telemetry().span_at("replica.consensus.on_message", now);
                 let fx = self.engine.on_message(now, from, cm);
+                drop(span);
                 self.apply_consensus_effects(ctx, fx);
             }
             ReplicaPayload::Mempool(mm) => {
+                let span = ctx.telemetry().span_at("replica.mempool.on_message", now);
                 let fx = self.mempool.on_message(now, from, mm, ctx.rng());
+                drop(span);
                 self.apply_mempool_effects(ctx, fx);
             }
         }

@@ -36,6 +36,7 @@
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use smp_mempool::{Effects, FillStatus, Mempool, MempoolStats, TimerTag};
+use smp_telemetry::Telemetry;
 use smp_types::{Payload, Proposal, ReplicaId, SimTime, Transaction};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
@@ -257,6 +258,12 @@ pub trait ShardExecutor<M: Mempool> {
 
     /// Per-shard counters (the [`Mempool::stats`] roll-up, unaggregated).
     fn shard_stats(&self) -> Vec<MempoolStats>;
+
+    /// Installs a telemetry handle: shard `i` receives the handle
+    /// re-prefixed with `shard.<i>` so its metrics stay distinguishable
+    /// after the merge.  Telemetry never influences execution — the
+    /// conformance suite runs with it both live and disabled.
+    fn set_telemetry(&mut self, _telemetry: Telemetry) {}
 }
 
 /// Runs every shard inline on the calling thread.
@@ -312,6 +319,12 @@ impl<M: Mempool> ShardExecutor<M> for SequentialExecutor<M> {
     fn shard_stats(&self) -> Vec<MempoolStats> {
         self.shards.iter().map(|s| s.stats()).collect()
     }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            shard.set_telemetry(telemetry.with_prefix(&format!("shard.{i}")));
+        }
+    }
 }
 
 /// What travels into a worker's inbox.
@@ -320,6 +333,9 @@ enum Cmd<M: Mempool> {
     Op(u64, ShardOp<M>),
     /// Reply with a stats snapshot.
     Stats,
+    /// Install a telemetry handle on the worker's shard (no reply —
+    /// the FIFO inbox orders it before any subsequent `Op`).
+    SetTelemetry(Box<Telemetry>),
     /// Exit the worker loop.
     Shutdown,
 }
@@ -346,6 +362,10 @@ fn worker_loop<M: Mempool>(
         let reply = match cmd {
             Cmd::Op(id, op) => Reply::Output(id, apply(&mut shard, &mut rng, op)),
             Cmd::Stats => Reply::Stats(Box::new(shard.stats())),
+            Cmd::SetTelemetry(telemetry) => {
+                shard.set_telemetry(*telemetry);
+                continue;
+            }
             Cmd::Shutdown => break,
         };
         if replies.send(reply).is_err() {
@@ -475,6 +495,20 @@ impl<M: Mempool> ShardExecutor<M> for ParallelExecutor<M> {
                 .collect(),
         }
     }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        match &mut self.mode {
+            ParMode::Inline(seq) => seq.set_telemetry(telemetry),
+            ParMode::Workers(workers) => {
+                for (i, w) in workers.iter().enumerate() {
+                    let handle = telemetry.with_prefix(&format!("shard.{i}"));
+                    w.inbox
+                        .send(Cmd::SetTelemetry(Box::new(handle)))
+                        .expect("shard worker alive");
+                }
+            }
+        }
+    }
 }
 
 impl<M: Mempool> Drop for ParallelExecutor<M> {
@@ -527,6 +561,13 @@ impl<M: Mempool> ShardExecutor<M> for Executor<M> {
         match self {
             Executor::Sequential(e) => e.shard_stats(),
             Executor::Parallel(e) => e.shard_stats(),
+        }
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        match self {
+            Executor::Sequential(e) => e.set_telemetry(telemetry),
+            Executor::Parallel(e) => e.set_telemetry(telemetry),
         }
     }
 }

@@ -6,6 +6,7 @@ use crate::mux::TimerMux;
 use crate::router::ShardRouter;
 use rand::rngs::SmallRng;
 use smp_mempool::{Effects, FillStatus, Mempool, MempoolEvent, MempoolStats, TimerTag};
+use smp_telemetry::Telemetry;
 use smp_types::{
     BlockId, ExecutorKind, MicroblockRef, Payload, Proposal, ReplicaId, SimTime, SystemConfig,
     Transaction, WireSize, SHARD_GROUP_TAG_BYTES,
@@ -88,6 +89,9 @@ pub struct ShardedMempool<M: Mempool> {
     /// still outstanding.  The aggregated `ProposalReady` is emitted when
     /// the set drains.
     pending_fills: HashMap<BlockId, HashSet<u16>>,
+    /// Observability only; also pushed into the executor (per shard,
+    /// re-prefixed `shard.<i>`) by [`Mempool::set_telemetry`].
+    telemetry: Telemetry,
 }
 
 impl<M: Mempool> ShardedMempool<M> {
@@ -135,6 +139,7 @@ impl<M: Mempool> ShardedMempool<M> {
             carry: VecDeque::new(),
             carry_bytes: 0,
             pending_fills: HashMap::new(),
+            telemetry: Telemetry::disabled(),
         }
     }
 
@@ -214,7 +219,9 @@ impl<M: Mempool> ShardedMempool<M> {
         rng: Option<&mut SmallRng>,
     ) -> Effects<ShardedMsg<M::Msg>> {
         let shards: Vec<u16> = ops.iter().map(|(s, _)| *s).collect();
+        let _span = self.telemetry.span("sharded.exec");
         let outputs = self.executor.run(ops, rng);
+        drop(_span);
         let mut out = Effects::none();
         for (shard, output) in shards.into_iter().zip(outputs) {
             out.merge(self.lift(shard, output.into_effects()));
@@ -482,8 +489,14 @@ impl<M: Mempool> Mempool for ShardedMempool<M> {
                 .expect("one output")
                 .into_payload();
         }
+        let _span = self.telemetry.span_at("sharded.make_payload", now);
         let items = self.drain_shards(now);
-        self.assemble(items)
+        let payload = self.assemble(items);
+        self.telemetry
+            .gauge_set("sharded.carry_items", self.carry.len() as f64);
+        self.telemetry
+            .gauge_set("sharded.carry_bytes", self.carry_bytes as f64);
+        payload
     }
 
     fn on_proposal(
@@ -614,6 +627,11 @@ impl<M: Mempool> Mempool for ShardedMempool<M> {
                 self.run_effects(ops, None)
             }
         }
+    }
+
+    fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.executor.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     fn stats(&self) -> MempoolStats {

@@ -8,6 +8,7 @@
 
 use crate::observation::{ObsKind, Observation};
 use rand::rngs::SmallRng;
+use smp_telemetry::Telemetry;
 use smp_types::{ReplicaId, SimTime};
 
 /// Application-defined timer tag delivered back in `on_timer`.
@@ -43,6 +44,7 @@ pub struct NodeCtx<'a, M> {
     pub(crate) rng: &'a mut SmallRng,
     pub(crate) actions: &'a mut Vec<Action<M>>,
     pub(crate) next_timer_id: &'a mut u64,
+    pub(crate) telemetry: &'a Telemetry,
 }
 
 impl<'a, M> NodeCtx<'a, M> {
@@ -64,6 +66,13 @@ impl<'a, M> NodeCtx<'a, M> {
     /// Deterministic per-node random number generator.
     pub fn rng(&mut self) -> &mut SmallRng {
         self.rng
+    }
+
+    /// This node's telemetry handle (prefixed `replica.<id>`).  Disabled
+    /// unless the simulation was built with
+    /// [`with_telemetry`](crate::Simulation::with_telemetry).
+    pub fn telemetry(&self) -> &Telemetry {
+        self.telemetry
     }
 
     /// Sends `msg` to `to` over the simulated network.
@@ -128,6 +137,8 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
 
+    static DISABLED: Telemetry = Telemetry::disabled();
+
     fn ctx_with<'a>(
         actions: &'a mut Vec<Action<u32>>,
         rng: &'a mut SmallRng,
@@ -140,6 +151,7 @@ mod tests {
             rng,
             actions,
             next_timer_id: next_timer,
+            telemetry: &DISABLED,
         }
     }
 
@@ -195,7 +207,7 @@ mod tests {
         let mut next = 0;
         let mut ctx = ctx_with(&mut actions, &mut rng, &mut next);
         ctx.observe(ObsKind::Custom {
-            label: "x",
+            label: "x".into(),
             value: 1.0,
         });
         match &actions[0] {

@@ -70,3 +70,4 @@ pub use message::SimMessage;
 pub use netmodel::{FaultWindow, NetConfig};
 pub use observation::{ObsKind, Observation, ObservationLog};
 pub use runner::{Node, Simulation};
+pub use smp_telemetry::Telemetry;

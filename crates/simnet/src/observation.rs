@@ -3,6 +3,7 @@
 
 use serde::Serialize;
 use smp_types::{ReplicaId, SimTime, MICROS_PER_SEC};
+use std::borrow::Cow;
 
 /// What happened.
 #[derive(Clone, Debug, PartialEq, Serialize)]
@@ -34,8 +35,10 @@ pub enum ObsKind {
     },
     /// Free-form metric.
     Custom {
-        /// Label identifying the metric.
-        label: &'static str,
+        /// Label identifying the metric.  `Cow` so dynamically-named
+        /// labels (e.g. per-shard `"shard.3.carry"`) don't need to leak
+        /// a `&'static str`.
+        label: Cow<'static, str>,
         /// Value.
         value: f64,
     },

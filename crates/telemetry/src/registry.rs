@@ -1,0 +1,324 @@
+//! Hierarchical metrics registry: counters, gauges, and latency
+//! histograms addressed by dotted string keys
+//! (`replica.3.shard.1.gossip.bytes_out`).
+
+use smp_metrics::{JsonValue, LatencyHistogram};
+use std::collections::BTreeMap;
+
+/// One live metric.
+#[derive(Clone, Debug)]
+pub enum Metric {
+    /// Monotonically increasing count.
+    Counter(u64),
+    /// Last-write-wins level.
+    Gauge(f64),
+    /// Latency distribution in microseconds.
+    Hist(LatencyHistogram),
+}
+
+/// A set of metrics keyed by hierarchical dotted names.  `BTreeMap` keeps
+/// exports sorted and therefore diff-stable.
+#[derive(Clone, Debug, Default)]
+pub struct MetricsRegistry {
+    metrics: BTreeMap<String, Metric>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the counter at `key`, creating it at zero.
+    ///
+    /// If the key currently holds a different metric kind the call is
+    /// ignored — mixing kinds under one key is a bug in the caller, and
+    /// telemetry must never panic inside an instrumented hot path.
+    pub fn counter_add(&mut self, key: &str, v: u64) {
+        if let Metric::Counter(c) = self
+            .metrics
+            .entry(key.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            *c += v;
+        }
+    }
+
+    /// Sets the gauge at `key`.
+    pub fn gauge_set(&mut self, key: &str, v: f64) {
+        if let Metric::Gauge(g) = self
+            .metrics
+            .entry(key.to_string())
+            .or_insert(Metric::Gauge(0.0))
+        {
+            *g = v;
+        }
+    }
+
+    /// Records a latency observation (µs) into the histogram at `key`.
+    pub fn observe_us(&mut self, key: &str, us: u64) {
+        self.observe_us_n(key, us, 1);
+    }
+
+    /// Records `count` identical latency observations at `key` (O(1)).
+    pub fn observe_us_n(&mut self, key: &str, us: u64, count: usize) {
+        if let Metric::Hist(h) = self
+            .metrics
+            .entry(key.to_string())
+            .or_insert_with(|| Metric::Hist(LatencyHistogram::new()))
+        {
+            h.record_n(us, count);
+        }
+    }
+
+    /// Number of registered keys.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// Whether the registry holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Reads a counter value (None if absent or a different kind).
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        match self.metrics.get(key) {
+            Some(Metric::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Reads a gauge value.
+    pub fn gauge(&self, key: &str) -> Option<f64> {
+        match self.metrics.get(key) {
+            Some(Metric::Gauge(g)) => Some(*g),
+            _ => None,
+        }
+    }
+
+    /// Freezes the current values into a [`MetricsSnapshot`].
+    pub fn snapshot(&mut self) -> MetricsSnapshot {
+        let values = self
+            .metrics
+            .iter_mut()
+            .map(|(key, metric)| {
+                let value = match metric {
+                    Metric::Counter(c) => SnapValue::Counter(*c),
+                    Metric::Gauge(g) => SnapValue::Gauge(*g),
+                    Metric::Hist(h) => SnapValue::Hist {
+                        count: h.count() as u64,
+                        mean_us: h.mean_us().unwrap_or(0.0),
+                        p50_us: h.percentile_us(50.0).unwrap_or(0),
+                        p95_us: h.percentile_us(95.0).unwrap_or(0),
+                        p99_us: h.percentile_us(99.0).unwrap_or(0),
+                        max_us: h.max_us().unwrap_or(0),
+                    },
+                };
+                (key.clone(), value)
+            })
+            .collect();
+        MetricsSnapshot { values }
+    }
+}
+
+/// A frozen metric value inside a snapshot.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SnapValue {
+    Counter(u64),
+    Gauge(f64),
+    Hist {
+        count: u64,
+        mean_us: f64,
+        p50_us: u64,
+        p95_us: u64,
+        p99_us: u64,
+        max_us: u64,
+    },
+}
+
+/// A point-in-time copy of a [`MetricsRegistry`], diffable and
+/// JSON-exportable.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    values: BTreeMap<String, SnapValue>,
+}
+
+impl MetricsSnapshot {
+    /// Reads one frozen value.
+    pub fn get(&self, key: &str) -> Option<&SnapValue> {
+        self.values.get(key)
+    }
+
+    /// Reads a frozen counter.
+    pub fn counter(&self, key: &str) -> Option<u64> {
+        match self.values.get(key) {
+            Some(SnapValue::Counter(c)) => Some(*c),
+            _ => None,
+        }
+    }
+
+    /// Iterates `(key, value)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &SnapValue)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the snapshot is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The change since `earlier`: counters and histogram counts are
+    /// subtracted; gauges and percentiles keep their latest value.  Keys
+    /// absent from `earlier` appear unchanged.
+    pub fn diff(&self, earlier: &MetricsSnapshot) -> MetricsSnapshot {
+        let values = self
+            .values
+            .iter()
+            .map(|(key, value)| {
+                let diffed = match (value, earlier.values.get(key)) {
+                    (SnapValue::Counter(now), Some(SnapValue::Counter(then))) => {
+                        SnapValue::Counter(now.saturating_sub(*then))
+                    }
+                    (
+                        SnapValue::Hist {
+                            count,
+                            mean_us,
+                            p50_us,
+                            p95_us,
+                            p99_us,
+                            max_us,
+                        },
+                        Some(SnapValue::Hist { count: then, .. }),
+                    ) => SnapValue::Hist {
+                        count: count.saturating_sub(*then),
+                        mean_us: *mean_us,
+                        p50_us: *p50_us,
+                        p95_us: *p95_us,
+                        p99_us: *p99_us,
+                        max_us: *max_us,
+                    },
+                    (value, _) => value.clone(),
+                };
+                (key.clone(), diffed)
+            })
+            .collect();
+        MetricsSnapshot { values }
+    }
+
+    /// Exports the snapshot as a JSON object keyed by metric name.
+    pub fn to_json(&self) -> JsonValue {
+        let pairs = self
+            .values
+            .iter()
+            .map(|(key, value)| {
+                let v = match value {
+                    SnapValue::Counter(c) => JsonValue::Object(vec![
+                        ("type".to_string(), JsonValue::String("counter".to_string())),
+                        ("value".to_string(), JsonValue::Number(*c as f64)),
+                    ]),
+                    SnapValue::Gauge(g) => JsonValue::Object(vec![
+                        ("type".to_string(), JsonValue::String("gauge".to_string())),
+                        ("value".to_string(), JsonValue::Number(*g)),
+                    ]),
+                    SnapValue::Hist {
+                        count,
+                        mean_us,
+                        p50_us,
+                        p95_us,
+                        p99_us,
+                        max_us,
+                    } => JsonValue::Object(vec![
+                        ("type".to_string(), JsonValue::String("hist".to_string())),
+                        ("count".to_string(), JsonValue::Number(*count as f64)),
+                        ("mean_us".to_string(), JsonValue::Number(*mean_us)),
+                        ("p50_us".to_string(), JsonValue::Number(*p50_us as f64)),
+                        ("p95_us".to_string(), JsonValue::Number(*p95_us as f64)),
+                        ("p99_us".to_string(), JsonValue::Number(*p99_us as f64)),
+                        ("max_us".to_string(), JsonValue::Number(*max_us as f64)),
+                    ]),
+                };
+                (key.clone(), v)
+            })
+            .collect();
+        JsonValue::Object(pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_export() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("replica.0.net.bytes_out", 100);
+        r.counter_add("replica.0.net.bytes_out", 50);
+        r.gauge_set("replica.0.carry", 3.0);
+        r.gauge_set("replica.0.carry", 7.0);
+        r.observe_us("replica.0.commit_latency", 1_000);
+        r.observe_us_n("replica.0.commit_latency", 2_000, 3);
+        assert_eq!(r.counter("replica.0.net.bytes_out"), Some(150));
+        assert_eq!(r.gauge("replica.0.carry"), Some(7.0));
+        let snap = r.snapshot();
+        assert_eq!(snap.counter("replica.0.net.bytes_out"), Some(150));
+        match snap.get("replica.0.commit_latency").unwrap() {
+            SnapValue::Hist { count, max_us, .. } => {
+                assert_eq!(*count, 4);
+                assert_eq!(*max_us, 2_000);
+            }
+            other => panic!("expected hist, got {other:?}"),
+        }
+        let json = snap.to_json().to_compact();
+        assert!(json.contains("\"replica.0.net.bytes_out\""));
+        assert!(json.contains("\"counter\""));
+        assert!(json.contains("\"hist\""));
+    }
+
+    #[test]
+    fn kind_conflicts_are_ignored_not_panics() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("k", 1);
+        r.gauge_set("k", 5.0);
+        r.observe_us("k", 10);
+        assert_eq!(r.counter("k"), Some(1));
+        assert_eq!(r.gauge("k"), None);
+    }
+
+    #[test]
+    fn diff_subtracts_counters_keeps_gauges() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("c", 10);
+        r.gauge_set("g", 1.0);
+        r.observe_us("h", 100);
+        let first = r.snapshot();
+        r.counter_add("c", 5);
+        r.gauge_set("g", 9.0);
+        r.observe_us("h", 200);
+        r.counter_add("new", 2);
+        let second = r.snapshot();
+        let d = second.diff(&first);
+        assert_eq!(d.counter("c"), Some(5));
+        assert_eq!(d.get("g"), Some(&SnapValue::Gauge(9.0)));
+        assert_eq!(d.counter("new"), Some(2));
+        match d.get("h").unwrap() {
+            SnapValue::Hist { count, .. } => assert_eq!(*count, 1),
+            other => panic!("expected hist, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_is_sorted_by_key() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("z", 1);
+        r.counter_add("a", 1);
+        let snap = r.snapshot();
+        let keys: Vec<&str> = snap.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec!["a", "z"]);
+    }
+}

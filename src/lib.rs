@@ -32,6 +32,7 @@ pub use smp_mempool as mempool;
 pub use smp_metrics as metrics;
 pub use smp_replica as replica;
 pub use smp_shard as shard;
+pub use smp_telemetry as telemetry;
 pub use smp_types as types;
 pub use smp_workload as workload;
 pub use stratus;
@@ -50,6 +51,7 @@ pub mod prelude {
         ParallelExecutor, SequentialExecutor, ShardExecutor, ShardRouter, ShardedMempool,
         ShardedMsg,
     };
+    pub use smp_telemetry::Telemetry;
     pub use smp_types::{
         ExecutorKind, MempoolConfig, NetworkPreset, Payload, Proposal, ReplicaId, SystemConfig,
         Transaction, View,

@@ -85,6 +85,56 @@ fn conformance_survives_byzantine_senders_and_wan_conditions() {
     assert_conformant(&base, 4);
 }
 
+#[test]
+fn telemetry_does_not_perturb_either_executor() {
+    // Telemetry must be a pure observer: with recording enabled the
+    // simulated results stay byte-identical to a plain run, under both
+    // executors, and the two executors stay byte-identical to each other
+    // with telemetry live.
+    stratus_repro::shard::force_parallel_workers(true);
+    let base = quick(Protocol::StratusHotStuff, 4, 2_000.0).with_shards(2);
+    for kind in [ExecutorKind::Sequential, ExecutorKind::Parallel] {
+        let plain = run_experiment(&base.clone().with_executor(kind));
+        let traced = run_experiment(&base.clone().with_executor(kind).with_telemetry(true));
+        assert_eq!(
+            plain.observations, traced.observations,
+            "{kind:?}: telemetry changed the observation log"
+        );
+        assert_eq!(
+            plain.committed_txs, traced.committed_txs,
+            "{kind:?}: telemetry changed the committed transactions"
+        );
+        assert_eq!(
+            plain.throughput_series, traced.throughput_series,
+            "{kind:?}: telemetry changed the throughput series"
+        );
+        assert!(
+            traced.telemetry.is_enabled(),
+            "{kind:?}: traced run should carry a live telemetry handle"
+        );
+    }
+    let seq = run_experiment(
+        &base
+            .clone()
+            .with_executor(ExecutorKind::Sequential)
+            .with_telemetry(true),
+    );
+    let par = run_experiment(
+        &base
+            .clone()
+            .with_executor(ExecutorKind::Parallel)
+            .with_telemetry(true),
+    );
+    assert_eq!(
+        seq.observations, par.observations,
+        "executors diverged with telemetry enabled"
+    );
+    assert_eq!(
+        seq.committed_txs, par.committed_txs,
+        "executors committed differently with telemetry enabled"
+    );
+}
+
 proptest! {
     // Each case runs two full simulations; a handful of random seeds per
     // CI run is plenty on top of the exhaustive fixed-seed sweep above.

@@ -9,7 +9,28 @@
 
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
+
+/// One completed measurement, retrievable via [`take_reports`].
+#[derive(Clone, Debug, PartialEq)]
+pub struct Report {
+    /// Full benchmark id (`group/function/parameter`).
+    pub id: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Number of measured iterations.
+    pub iters: u64,
+}
+
+static REPORTS: Mutex<Vec<Report>> = Mutex::new(Vec::new());
+
+/// Drains every report recorded so far (in execution order).  Lets a
+/// custom bench `main` export the results after running the groups —
+/// real criterion writes its own output files instead.
+pub fn take_reports() -> Vec<Report> {
+    std::mem::take(&mut REPORTS.lock().expect("reports lock"))
+}
 
 /// Re-export of `std::hint::black_box`, mirroring `criterion::black_box`.
 pub fn black_box<T>(x: T) -> T {
@@ -83,6 +104,11 @@ impl Bencher {
 
 fn report(name: &str, bencher: &Bencher) {
     let ns = bencher.ns_per_iter;
+    REPORTS.lock().expect("reports lock").push(Report {
+        id: name.to_string(),
+        ns_per_iter: ns,
+        iters: bencher.iters_done,
+    });
     let (value, unit) = if ns >= 1e9 {
         (ns / 1e9, "s")
     } else if ns >= 1e6 {
@@ -208,5 +234,15 @@ mod tests {
     fn benchmark_ids_format() {
         assert_eq!(BenchmarkId::new("f", 4).id, "f/4");
         assert_eq!(BenchmarkId::from_parameter("x").id, "x");
+    }
+
+    #[test]
+    fn reports_are_collected() {
+        let mut c = Criterion::default();
+        c.bench_function("collected_marker", |b| b.iter(|| 1 + 1));
+        let reports = take_reports();
+        assert!(reports
+            .iter()
+            .any(|r| r.id == "collected_marker" && r.iters > 0 && r.ns_per_iter >= 0.0));
     }
 }
