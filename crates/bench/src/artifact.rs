@@ -15,17 +15,35 @@ use std::time::Instant;
 
 /// Version stamped into every artifact; bump on incompatible layout
 /// changes so the gate can refuse cross-schema comparisons.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+///
+/// v2 added per-metric `directions` (`"lower"` / `"higher"`), making the
+/// gating direction explicit instead of inferred from the metric name.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
+
+/// The schema-1 fallback: infer the gating direction from the metric
+/// name.  Only used for artifacts that predate explicit directions —
+/// v2 artifacts record the direction per metric.
+pub fn inferred_lower_is_better(key: &str) -> bool {
+    key.contains("latency")
+        || key.contains("_ms")
+        || key.ends_with("ms")
+        || key.contains("ns_per_iter")
+        || key.contains("wall")
+        || key.contains("view_changes")
+}
 
 /// One labelled measurement point: a set of named scalar metrics.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct BenchPoint {
     /// Unique label within the artifact (e.g. `n=64/S-HS`).
     pub label: String,
-    /// Metric name → value.  Names containing `latency`, `ms`,
-    /// `ns_per_iter` or `wall` are treated as lower-is-better by the
-    /// gate; everything else as higher-is-better.
+    /// Metric name → value.
     pub metrics: BTreeMap<String, f64>,
+    /// Metric name → whether a smaller value is an improvement.  Written
+    /// for every metric since schema v2; may be missing entries (or be
+    /// empty) in older artifacts, where the gate falls back to
+    /// [`inferred_lower_is_better`].
+    pub directions: BTreeMap<String, bool>,
 }
 
 impl BenchPoint {
@@ -34,7 +52,14 @@ impl BenchPoint {
         BenchPoint {
             label: label.into(),
             metrics: BTreeMap::new(),
+            directions: BTreeMap::new(),
         }
+    }
+
+    /// The recorded direction for `key`, if any (`true` = lower is
+    /// better).
+    pub fn lower_is_better(&self, key: &str) -> Option<bool> {
+        self.directions.get(key).copied()
     }
 
     fn to_json(&self) -> JsonValue {
@@ -46,6 +71,18 @@ impl BenchPoint {
                     self.metrics
                         .iter()
                         .map(|(k, v)| (k.clone(), JsonValue::Number(*v)))
+                        .collect(),
+                ),
+            ),
+            (
+                "directions".to_string(),
+                JsonValue::Object(
+                    self.directions
+                        .iter()
+                        .map(|(k, lower)| {
+                            let d = if *lower { "lower" } else { "higher" };
+                            (k.clone(), JsonValue::String(d.to_string()))
+                        })
                         .collect(),
                 ),
             ),
@@ -66,7 +103,26 @@ impl BenchPoint {
                 }
             }
         }
-        Ok(BenchPoint { label, metrics })
+        let mut directions = BTreeMap::new();
+        if let Some(obj) = v.get("directions").and_then(JsonValue::as_object) {
+            for (k, d) in obj {
+                // Accept the canonical strings and plain booleans.
+                let lower = match (d.as_str(), d.as_bool()) {
+                    (Some("lower"), _) => Some(true),
+                    (Some("higher"), _) => Some(false),
+                    (_, Some(b)) => Some(b),
+                    _ => None,
+                };
+                if let Some(lower) = lower {
+                    directions.insert(k.clone(), lower);
+                }
+            }
+        }
+        Ok(BenchPoint {
+            label,
+            metrics,
+            directions,
+        })
     }
 }
 
@@ -231,8 +287,17 @@ impl BenchRecorder {
         self.out.is_some()
     }
 
-    /// Adds (or extends) the point `label` with one metric.
+    /// Adds (or extends) the point `label` with one metric, inferring the
+    /// gating direction from the metric name.  Use
+    /// [`metric_directed`](Self::metric_directed) when the name does not
+    /// say which way is better.
     pub fn metric(&mut self, label: &str, key: &str, value: f64) {
+        self.metric_directed(label, key, value, inferred_lower_is_better(key));
+    }
+
+    /// Adds (or extends) the point `label` with one metric carrying an
+    /// explicit gating direction (`true` = lower is better).
+    pub fn metric_directed(&mut self, label: &str, key: &str, value: f64, lower_is_better: bool) {
         if self.out.is_none() {
             return;
         }
@@ -244,6 +309,7 @@ impl BenchRecorder {
             }
         };
         point.metrics.insert(key.to_string(), value);
+        point.directions.insert(key.to_string(), lower_is_better);
     }
 
     /// Records the standard summary metrics of one experiment result
@@ -252,12 +318,12 @@ impl BenchRecorder {
         if self.out.is_none() {
             return;
         }
-        self.metric(label, "throughput_ktps", r.summary.throughput_ktps);
-        self.metric(label, "mean_latency_ms", r.summary.mean_latency_ms);
-        self.metric(label, "p95_latency_ms", r.summary.p95_latency_ms);
-        self.metric(label, "p99_latency_ms", r.summary.p99_latency_ms);
-        self.metric(label, "committed_txs", r.committed_txs as f64);
-        self.metric(label, "view_changes", r.view_changes as f64);
+        self.metric_directed(label, "throughput_ktps", r.summary.throughput_ktps, false);
+        self.metric_directed(label, "mean_latency_ms", r.summary.mean_latency_ms, true);
+        self.metric_directed(label, "p95_latency_ms", r.summary.p95_latency_ms, true);
+        self.metric_directed(label, "p99_latency_ms", r.summary.p99_latency_ms, true);
+        self.metric_directed(label, "committed_txs", r.committed_txs as f64, false);
+        self.metric_directed(label, "view_changes", r.view_changes as f64, true);
     }
 
     /// Stamps the wall-clock duration and writes the artifact (if
@@ -300,6 +366,8 @@ mod tests {
         let mut p = BenchPoint::new("n=16/S-HS");
         p.metrics.insert("throughput_ktps".to_string(), 42.5);
         p.metrics.insert("p95_latency_ms".to_string(), 8.0);
+        p.directions.insert("throughput_ktps".to_string(), false);
+        p.directions.insert("p95_latency_ms".to_string(), true);
         let a = BenchArtifact {
             schema: BENCH_SCHEMA_VERSION,
             name: "fig7_scalability".to_string(),
@@ -325,5 +393,35 @@ mod tests {
         assert_eq!(a.name, "x");
         assert!(a.points.is_empty());
         assert_eq!(a.wall_secs, 0.0);
+    }
+
+    #[test]
+    fn v1_points_parse_without_directions() {
+        let a = BenchArtifact::parse(
+            r#"{"schema": 1, "name": "x",
+                "points": [{"label": "p", "metrics": {"ns_per_iter": 5.0}}]}"#,
+        )
+        .unwrap();
+        let p = a.point("p").unwrap();
+        assert_eq!(p.metrics["ns_per_iter"], 5.0);
+        assert_eq!(p.lower_is_better("ns_per_iter"), None);
+        // The name-based fallback still classifies the metric.
+        assert!(inferred_lower_is_better("ns_per_iter"));
+        assert!(!inferred_lower_is_better("throughput_ktps"));
+    }
+
+    #[test]
+    fn directions_accept_strings_and_booleans() {
+        let a = BenchArtifact::parse(
+            r#"{"schema": 2, "name": "x",
+                "points": [{"label": "p",
+                            "metrics": {"a": 1.0, "b": 2.0, "c": 3.0},
+                            "directions": {"a": "lower", "b": "higher", "c": true}}]}"#,
+        )
+        .unwrap();
+        let p = a.point("p").unwrap();
+        assert_eq!(p.lower_is_better("a"), Some(true));
+        assert_eq!(p.lower_is_better("b"), Some(false));
+        assert_eq!(p.lower_is_better("c"), Some(true));
     }
 }

@@ -5,55 +5,95 @@
 //!
 //! Compares every metric of every baseline point against the candidate
 //! artifact and exits non-zero when any metric regressed by more than the
-//! threshold (relative).  Metric direction is inferred from the name:
-//! `latency`, `*_ms`, `ns_per_iter`, `wall` and `view_changes` are
-//! lower-is-better, everything else higher-is-better.  Wall-clock metrics
-//! are reported but not gated unless `--gate-wall` is passed — sim-time
-//! results are deterministic, wall time is hardware-dependent.
+//! threshold (relative).  Since schema v2 the artifact records the gating
+//! direction per metric; for older (v1) artifacts the direction is
+//! inferred from the name (`latency`, `*_ms`, `ns_per_iter`, `wall` and
+//! `view_changes` are lower-is-better, everything else
+//! higher-is-better).  Wall-clock metrics are reported but not gated
+//! unless `--gate-wall` is passed — sim-time results are deterministic,
+//! wall time is hardware-dependent.
 //!
 //! A point or metric present in the baseline but missing from the
 //! candidate is itself a failure: a benchmark silently dropping coverage
 //! must not pass the gate.
 
-use smp_bench::{arg_value, BenchArtifact};
-
-fn lower_is_better(key: &str) -> bool {
-    key.contains("latency")
-        || key.contains("_ms")
-        || key.ends_with("ms")
-        || key.contains("ns_per_iter")
-        || key.contains("wall")
-        || key.contains("view_changes")
-}
+use smp_bench::{inferred_lower_is_better, BenchArtifact, BenchPoint};
 
 fn is_wall(key: &str) -> bool {
     key.contains("wall")
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let paths: Vec<&String> = args
-        .iter()
-        .skip(1)
-        .filter(|a| !a.starts_with("--"))
-        // Skip the value that follows `--threshold`.
-        .filter(|a| {
-            args.iter()
-                .position(|x| x == *a)
-                .map(|i| i == 0 || args[i - 1] != "--threshold")
-                .unwrap_or(true)
-        })
-        .collect();
+/// Parsed command line: the two artifact paths, the relative regression
+/// threshold, and whether wall-clock metrics are gated.
+#[derive(Debug, PartialEq)]
+struct GateArgs {
+    baseline: String,
+    candidate: String,
+    threshold: f64,
+    gate_wall: bool,
+}
+
+/// Single-pass parser over the argument list (without the program name).
+/// Each flag consumes its value in place, so positional paths are never
+/// confused with flag values — even when a path equals the threshold
+/// literal or when baseline and candidate are the same file.
+fn parse_args(args: &[String]) -> Result<GateArgs, String> {
+    let mut paths: Vec<String> = Vec::new();
+    let mut threshold = 0.15f64;
+    let mut gate_wall = false;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--threshold" => {
+                let v = it
+                    .next()
+                    .ok_or_else(|| "--threshold takes a value".to_string())?;
+                threshold = v
+                    .parse()
+                    .map_err(|_| format!("--threshold takes a number, got '{v}'"))?;
+            }
+            "--gate-wall" => gate_wall = true,
+            flag if flag.starts_with("--") => {
+                return Err(format!("unknown flag '{flag}'"));
+            }
+            _ => paths.push(arg.clone()),
+        }
+    }
     if paths.len() != 2 {
+        return Err(format!(
+            "expected exactly 2 artifact paths, got {}",
+            paths.len()
+        ));
+    }
+    let candidate = paths.pop().expect("two paths");
+    let baseline = paths.pop().expect("two paths");
+    Ok(GateArgs {
+        baseline,
+        candidate,
+        threshold,
+        gate_wall,
+    })
+}
+
+/// The gating direction for `key`: the artifact's explicit record when
+/// present (baseline wins over candidate), the name-based inference
+/// otherwise (pre-v2 artifacts).
+fn lower_is_better(bp: &BenchPoint, cp: &BenchPoint, key: &str) -> bool {
+    bp.lower_is_better(key)
+        .or_else(|| cp.lower_is_better(key))
+        .unwrap_or_else(|| inferred_lower_is_better(key))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = parse_args(&args).unwrap_or_else(|e| {
+        eprintln!("bench_gate: {e}");
         eprintln!(
             "usage: bench_gate <baseline.json> <candidate.json> [--threshold 0.15] [--gate-wall]"
         );
         std::process::exit(2);
-    }
-    let threshold: f64 = arg_value("--threshold")
-        .map(|t| t.parse().expect("--threshold takes a number"))
-        .unwrap_or(0.15);
-    let gate_wall = args.iter().any(|a| a == "--gate-wall");
+    });
+    let threshold = parsed.threshold;
 
     let load = |path: &str| -> BenchArtifact {
         let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
@@ -65,8 +105,8 @@ fn main() {
             std::process::exit(2);
         })
     };
-    let baseline = load(paths[0]);
-    let candidate = load(paths[1]);
+    let baseline = load(&parsed.baseline);
+    let candidate = load(&parsed.candidate);
 
     if baseline.schema != candidate.schema {
         eprintln!(
@@ -110,7 +150,7 @@ fn main() {
                 continue;
             };
             let wall = is_wall(key);
-            if wall && !gate_wall {
+            if wall && !parsed.gate_wall {
                 println!(
                     "  (info) {}/{}: {:.3} -> {:.3} (wall, not gated)",
                     bp.label, key, base, cand
@@ -127,7 +167,7 @@ fn main() {
                 );
                 continue;
             }
-            let delta = if lower_is_better(key) {
+            let delta = if lower_is_better(bp, cp, key) {
                 (cand - base) / base
             } else {
                 (base - cand) / base
@@ -156,5 +196,79 @@ fn main() {
             eprintln!("  {f}");
         }
         std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn identical_baseline_and_candidate_paths_both_survive() {
+        // The old positional filter deduplicated by value: comparing an
+        // artifact against itself (the obvious smoke test) was rejected
+        // as "one path".
+        let parsed = parse_args(&strs(&["a.json", "a.json"])).unwrap();
+        assert_eq!(parsed.baseline, "a.json");
+        assert_eq!(parsed.candidate, "a.json");
+    }
+
+    #[test]
+    fn path_equal_to_threshold_value_is_not_swallowed() {
+        // The old filter dropped any positional that happened to follow
+        // a `--threshold` occurrence *by value* — a file literally named
+        // `0.2` vanished when `--threshold 0.2` was also passed.
+        let parsed = parse_args(&strs(&["--threshold", "0.2", "base.json", "0.2"])).unwrap();
+        assert_eq!(parsed.baseline, "base.json");
+        assert_eq!(parsed.candidate, "0.2");
+        assert!((parsed.threshold - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn flags_parse_in_any_position() {
+        let parsed = parse_args(&strs(&[
+            "a.json",
+            "--gate-wall",
+            "b.json",
+            "--threshold",
+            "0.05",
+        ]))
+        .unwrap();
+        assert_eq!(
+            parsed,
+            GateArgs {
+                baseline: "a.json".to_string(),
+                candidate: "b.json".to_string(),
+                threshold: 0.05,
+                gate_wall: true,
+            }
+        );
+    }
+
+    #[test]
+    fn bad_usage_is_rejected() {
+        assert!(parse_args(&strs(&["a.json"])).is_err());
+        assert!(parse_args(&strs(&["a.json", "b.json", "c.json"])).is_err());
+        assert!(parse_args(&strs(&["a.json", "b.json", "--threshold"])).is_err());
+        assert!(parse_args(&strs(&["a.json", "b.json", "--threshold", "x"])).is_err());
+        assert!(parse_args(&strs(&["a.json", "b.json", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn explicit_direction_overrides_the_name_heuristic() {
+        // A metric named like a lower-is-better one but recorded as
+        // higher-is-better must gate on the recorded direction.
+        let mut bp = BenchPoint::new("p");
+        bp.metrics.insert("settle_ms".to_string(), 10.0);
+        bp.directions.insert("settle_ms".to_string(), false);
+        let cp = BenchPoint::new("p");
+        assert!(!lower_is_better(&bp, &cp, "settle_ms"));
+        // Without a recorded direction the heuristic applies.
+        let bare = BenchPoint::new("p");
+        assert!(lower_is_better(&bare, &cp, "settle_ms"));
     }
 }

@@ -1,0 +1,394 @@
+//! `localcluster` — an n-process loopback cluster over real sockets.
+//!
+//! Parent mode (default) reserves `n` loopback ports, re-executes itself
+//! once per replica in child mode, collects every child's committed
+//! transaction sequence and counters over stdout, and checks that all
+//! replicas agree.  With `--check-sim` it additionally runs the
+//! deterministic simulator on the same `ExperimentConfig` and seed and
+//! requires the socket cluster's commit sequence to be byte-identical.
+//!
+//! ```text
+//! localcluster [--protocol N-HS] [--n 4] [--rate 4000] [--tx-limit 60]
+//!              [--horizon-us 2500000] [--seed 42] [--batch-bytes 16384]
+//!              [--source <replica index|even>] [--check-sim]
+//!              [--bench-out <path>] [--trace-out <dir>]
+//! ```
+//!
+//! Child mode (`--replica <i> --addrs a,b,...`) is internal: it calls
+//! [`smp_replica::run_replica_over_net`] and reports on stdout with
+//! `commit <64-hex-txid>` / `stat <key> <value>` / `peer_error <msg>`
+//! lines.
+//!
+//! Exit codes: 0 success, 1 divergence (replicas disagree, sim mismatch,
+//! or peer errors), 2 usage/spawn failures.
+
+use smp_bench::{arg_value, BenchRecorder, Scale};
+use smp_crypto::Digest;
+use smp_replica::{
+    run_replica_over_net, sim_commit_logs, ExperimentConfig, NetRunOptions, NetRunSummary, Protocol,
+};
+use smp_types::{ReplicaId, TxId};
+use smp_workload::LoadDistribution;
+use std::io::Read;
+use std::net::{SocketAddr, TcpListener};
+use std::process::{Command, Stdio};
+
+fn parse_protocol(s: &str) -> Option<Protocol> {
+    Protocol::all()
+        .into_iter()
+        .find(|p| p.label().eq_ignore_ascii_case(s) || format!("{p:?}").eq_ignore_ascii_case(s))
+}
+
+/// Cluster parameters shared by parent and children, rebuilt from the
+/// command line so every process derives the identical config.
+#[derive(Clone)]
+struct ClusterArgs {
+    protocol: Protocol,
+    n: usize,
+    rate: f64,
+    tx_limit: u64,
+    horizon_us: u64,
+    seed: u64,
+    batch_bytes: usize,
+    source: Option<usize>,
+}
+
+impl ClusterArgs {
+    fn from_env() -> ClusterArgs {
+        let num = |flag: &str, default: f64| -> f64 {
+            arg_value(flag)
+                .map(|v| {
+                    v.parse().unwrap_or_else(|_| {
+                        eprintln!("localcluster: {flag} takes a number, got '{v}'");
+                        std::process::exit(2);
+                    })
+                })
+                .unwrap_or(default)
+        };
+        let protocol = match arg_value("--protocol") {
+            Some(name) => parse_protocol(&name).unwrap_or_else(|| {
+                let labels: Vec<&str> = Protocol::all().iter().map(|p| p.label()).collect();
+                eprintln!(
+                    "localcluster: unknown protocol '{name}' (one of {})",
+                    labels.join(", ")
+                );
+                std::process::exit(2);
+            }),
+            None => Protocol::NativeHotStuff,
+        };
+        let source = match arg_value("--source").as_deref() {
+            None => Some(0),
+            Some("even") => None,
+            Some(i) => Some(i.parse().unwrap_or_else(|_| {
+                eprintln!("localcluster: --source takes a replica index or 'even'");
+                std::process::exit(2);
+            })),
+        };
+        ClusterArgs {
+            protocol,
+            n: num("--n", 4.0) as usize,
+            rate: num("--rate", 4_000.0),
+            tx_limit: num("--tx-limit", 60.0) as u64,
+            horizon_us: num("--horizon-us", 2_500_000.0) as u64,
+            seed: num("--seed", 42.0) as u64,
+            batch_bytes: num("--batch-bytes", 16_384.0) as usize,
+            source,
+        }
+    }
+
+    fn config(&self) -> ExperimentConfig {
+        let mut config = ExperimentConfig::new(self.protocol, self.n, self.rate)
+            .with_batch_size(self.batch_bytes);
+        if let Some(i) = self.source {
+            config = config.with_distribution(LoadDistribution::SingleReplica(i));
+        }
+        config.seed = self.seed;
+        config
+    }
+
+    /// The flags a child needs to rebuild this exact config.
+    fn forward(&self) -> Vec<String> {
+        let mut f = vec![
+            "--protocol".into(),
+            self.protocol.label().to_string(),
+            "--n".into(),
+            self.n.to_string(),
+            "--rate".into(),
+            self.rate.to_string(),
+            "--tx-limit".into(),
+            self.tx_limit.to_string(),
+            "--horizon-us".into(),
+            self.horizon_us.to_string(),
+            "--seed".into(),
+            self.seed.to_string(),
+            "--batch-bytes".into(),
+            self.batch_bytes.to_string(),
+            "--source".into(),
+            match self.source {
+                Some(i) => i.to_string(),
+                None => "even".into(),
+            },
+        ];
+        if let Some(dir) = arg_value("--trace-out") {
+            f.push("--trace-out".into());
+            f.push(dir);
+        }
+        f
+    }
+}
+
+fn txid_hex(id: &TxId) -> String {
+    let Digest(words) = id.0;
+    words.iter().map(|w| format!("{w:016x}")).collect()
+}
+
+fn txid_from_hex(s: &str) -> Option<TxId> {
+    if s.len() != 64 {
+        return None;
+    }
+    let mut words = [0u64; 4];
+    for (i, w) in words.iter_mut().enumerate() {
+        *w = u64::from_str_radix(&s[i * 16..(i + 1) * 16], 16).ok()?;
+    }
+    Some(TxId(Digest(words)))
+}
+
+// ---------------------------------------------------------------- child
+
+fn run_child(me: usize, args: &ClusterArgs) -> ! {
+    let addrs: Vec<SocketAddr> = arg_value("--addrs")
+        .unwrap_or_default()
+        .split(',')
+        .map(|a| {
+            a.parse().unwrap_or_else(|_| {
+                eprintln!("localcluster: bad --addrs entry '{a}'");
+                std::process::exit(2);
+            })
+        })
+        .collect();
+    let trace_out = arg_value("--trace-out");
+    let opts = NetRunOptions {
+        tx_limit: Some(args.tx_limit),
+        horizon_us: args.horizon_us,
+        telemetry: trace_out.is_some(),
+    };
+    let summary = run_replica_over_net(&args.config(), ReplicaId(me as u32), addrs, &opts)
+        .unwrap_or_else(|e| {
+            eprintln!("localcluster: replica {me} failed: {e}");
+            std::process::exit(2);
+        });
+    report_child(me, &summary, trace_out.as_deref());
+    std::process::exit(if summary.peer_errors.is_empty() { 0 } else { 1 });
+}
+
+fn report_child(me: usize, summary: &NetRunSummary, trace_out: Option<&str>) {
+    for id in &summary.commit_log {
+        println!("commit {}", txid_hex(id));
+    }
+    let stats: [(&str, u64); 8] = [
+        ("committed_txs", summary.committed_txs),
+        ("client_txs", summary.client_txs),
+        ("view_changes", summary.view_changes),
+        ("frames_in", summary.frames_in),
+        ("frames_out", summary.frames_out),
+        ("bytes_in", summary.bytes_in),
+        ("bytes_out", summary.bytes_out),
+        ("wall_us", summary.wall_us),
+    ];
+    for (key, value) in stats {
+        println!("stat {key} {value}");
+    }
+    for e in &summary.peer_errors {
+        println!("peer_error {e}");
+    }
+    if let Some(dir) = trace_out {
+        let path = std::path::Path::new(dir).join(format!("trace_replica_{me}.json"));
+        let _ = std::fs::create_dir_all(dir);
+        if let Err(e) = std::fs::write(&path, summary.telemetry.trace_json().to_pretty()) {
+            eprintln!("localcluster: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+// --------------------------------------------------------------- parent
+
+#[derive(Default)]
+struct ChildReport {
+    commits: Vec<TxId>,
+    stats: std::collections::BTreeMap<String, u64>,
+    peer_errors: Vec<String>,
+}
+
+fn parse_child_output(text: &str) -> ChildReport {
+    let mut r = ChildReport::default();
+    for line in text.lines() {
+        if let Some(hex) = line.strip_prefix("commit ") {
+            if let Some(id) = txid_from_hex(hex.trim()) {
+                r.commits.push(id);
+            }
+        } else if let Some(rest) = line.strip_prefix("stat ") {
+            if let Some((key, value)) = rest.split_once(' ') {
+                if let Ok(v) = value.trim().parse() {
+                    r.stats.insert(key.to_string(), v);
+                }
+            }
+        } else if let Some(e) = line.strip_prefix("peer_error ") {
+            r.peer_errors.push(e.to_string());
+        }
+    }
+    r
+}
+
+fn free_addrs(n: usize) -> Vec<SocketAddr> {
+    // Bind-then-drop reserves distinct ephemeral ports; children rebind
+    // them immediately after, so reuse by another process is unlikely.
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0").expect("bind ephemeral port"))
+        .collect();
+    listeners
+        .iter()
+        .map(|l| l.local_addr().expect("local addr"))
+        .collect()
+}
+
+fn main() {
+    let args = ClusterArgs::from_env();
+    if let Some(me) = arg_value("--replica") {
+        let me: usize = me.parse().unwrap_or_else(|_| {
+            eprintln!("localcluster: --replica takes an index");
+            std::process::exit(2);
+        });
+        run_child(me, &args);
+    }
+
+    let mut rec = BenchRecorder::from_args("localcluster", Scale::from_args());
+    let config = args.config();
+    println!(
+        "localcluster: {} n={} rate={} tx_limit={} horizon={}us seed={}",
+        args.protocol.label(),
+        args.n,
+        args.rate,
+        args.tx_limit,
+        args.horizon_us,
+        args.seed
+    );
+
+    let addrs = free_addrs(args.n);
+    let addr_list = addrs
+        .iter()
+        .map(|a| a.to_string())
+        .collect::<Vec<_>>()
+        .join(",");
+    let exe = std::env::current_exe().expect("current exe");
+    let mut children = Vec::new();
+    for i in 0..args.n {
+        let child = Command::new(&exe)
+            .args(["--replica", &i.to_string(), "--addrs", &addr_list])
+            .args(args.forward())
+            .stdout(Stdio::piped())
+            .stderr(Stdio::inherit())
+            .spawn()
+            .unwrap_or_else(|e| {
+                eprintln!("localcluster: cannot spawn replica {i}: {e}");
+                std::process::exit(2);
+            });
+        children.push(child);
+    }
+
+    let mut reports = Vec::new();
+    let mut failed = false;
+    for (i, mut child) in children.into_iter().enumerate() {
+        let mut text = String::new();
+        child
+            .stdout
+            .take()
+            .expect("piped stdout")
+            .read_to_string(&mut text)
+            .expect("read child stdout");
+        let status = child.wait().expect("wait for child");
+        if !status.success() {
+            eprintln!("localcluster: replica {i} exited with {status}");
+            failed = true;
+        }
+        reports.push(parse_child_output(&text));
+    }
+
+    for (i, r) in reports.iter().enumerate() {
+        for e in &r.peer_errors {
+            eprintln!("localcluster: replica {i} peer error: {e}");
+            failed = true;
+        }
+        println!(
+            "  replica {i}: {} committed, {} frames in, {} bytes in, {}us wall",
+            r.commits.len(),
+            r.stats.get("frames_in").copied().unwrap_or(0),
+            r.stats.get("bytes_in").copied().unwrap_or(0),
+            r.stats.get("wall_us").copied().unwrap_or(0),
+        );
+        rec.metric(
+            &format!("replica{i}"),
+            "committed_txs",
+            r.stats.get("committed_txs").copied().unwrap_or(0) as f64,
+        );
+        rec.metric(
+            &format!("replica{i}"),
+            "wall_us",
+            r.stats.get("wall_us").copied().unwrap_or(0) as f64,
+        );
+    }
+
+    // Agreement: every replica must report the same committed sequence.
+    let mut agree = true;
+    for (i, r) in reports.iter().enumerate().skip(1) {
+        if r.commits != reports[0].commits {
+            eprintln!(
+                "localcluster: replica {i} commit sequence diverges from replica 0 \
+                 ({} vs {} txs)",
+                r.commits.len(),
+                reports[0].commits.len()
+            );
+            agree = false;
+        }
+    }
+    if agree {
+        println!(
+            "localcluster: all {} replicas agree on {} committed txs",
+            args.n,
+            reports[0].commits.len()
+        );
+    }
+
+    // Cross-runtime conformance: the socket cluster must replay the
+    // simulator's sequence for the same config and seed.
+    let mut sim_ok = true;
+    if std::env::args().any(|a| a == "--check-sim") {
+        let sim = sim_commit_logs(&config, Some(args.tx_limit), args.horizon_us + 1_000_000);
+        if reports[0].commits == sim[0] {
+            println!(
+                "localcluster: socket commit sequence matches the simulator ({} txs)",
+                sim[0].len()
+            );
+        } else {
+            eprintln!(
+                "localcluster: socket commit sequence diverges from the simulator \
+                 ({} vs {} txs)",
+                reports[0].commits.len(),
+                sim[0].len()
+            );
+            sim_ok = false;
+        }
+    }
+
+    let total: u64 = reports
+        .iter()
+        .map(|r| r.stats.get("committed_txs").copied().unwrap_or(0))
+        .sum();
+    rec.metric("cluster", "committed_txs_total", total as f64);
+    rec.metric("cluster", "agreed_txs", reports[0].commits.len() as f64);
+    rec.metric("cluster", "agree", (agree && sim_ok) as u64 as f64);
+    rec.finish();
+
+    if failed || !agree || !sim_ok {
+        std::process::exit(1);
+    }
+}

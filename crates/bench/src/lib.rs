@@ -8,7 +8,8 @@
 pub mod artifact;
 
 pub use artifact::{
-    write_artifact, BenchArtifact, BenchPoint, BenchRecorder, BENCH_SCHEMA_VERSION,
+    inferred_lower_is_better, write_artifact, BenchArtifact, BenchPoint, BenchRecorder,
+    BENCH_SCHEMA_VERSION,
 };
 
 use smp_replica::{ExperimentConfig, ExperimentResult};

@@ -414,7 +414,15 @@ impl ShardLoadCoordinator {
     /// balancer's current *own* bans (forwards in flight).  Bans the
     /// shard has since lifted drop out of the merged view here.
     pub fn absorb(&mut self, shard: u16, lb: &LoadBalancer) {
-        self.shard_bans.insert(shard, lb.own_banned());
+        self.absorb_bans(shard, lb.own_banned());
+    }
+
+    /// [`absorb`](Self::absorb) from a pre-extracted ban set — for
+    /// callers holding a drained `LoadSnapshot` instead of balancer
+    /// access (the sharded wrapper, whose instances may live on worker
+    /// threads).
+    pub fn absorb_bans(&mut self, shard: u16, bans: HashSet<ReplicaId>) {
+        self.shard_bans.insert(shard, bans);
     }
 
     /// Imposes the merged ban view on a shard's balancer (its own bans

@@ -10,8 +10,8 @@ use crate::messages::StratusMsg;
 use crate::pab::PabEngine;
 use rand::rngs::SmallRng;
 use smp_mempool::{
-    Effects, FetchRetryState, FillStatus, FillTracker, Mempool, MempoolEvent, MempoolStats,
-    MicroblockStore, ProposalQueue, TimerTag, TxBatcher, BATCH_TIMEOUT_TAG,
+    Effects, FetchRetryState, FillStatus, FillTracker, LoadSnapshot, Mempool, MempoolEvent,
+    MempoolStats, MicroblockStore, ProposalQueue, TimerTag, TxBatcher, BATCH_TIMEOUT_TAG,
 };
 use smp_telemetry::Telemetry;
 use smp_types::{
@@ -50,6 +50,11 @@ pub struct StratusMempool {
     deferred: VecDeque<(Microblock, Option<ReplicaId>)>,
     started: bool,
     created: u64,
+    /// `LbInfo` replies observed since the last [`Mempool::load_snapshot`]
+    /// drain, for cross-shard DLB coordination.
+    pending_load: Vec<(ReplicaId, Option<SimTime>)>,
+    /// Whether the periodic banList reset fired since the last drain.
+    pending_reset: bool,
     telemetry: Telemetry,
 }
 
@@ -84,6 +89,8 @@ impl StratusMempool {
             deferred: VecDeque::new(),
             started: false,
             created: 0,
+            pending_load: Vec::new(),
+            pending_reset: false,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -381,6 +388,7 @@ impl Mempool for StratusMempool {
                 token,
                 stable_time_us,
             } => {
+                self.pending_load.push((from, stable_time_us));
                 if let Some(decision) = self.lb.on_load_info(token, from, stable_time_us) {
                     self.handle_forward_decision(now, decision, &mut effects);
                 }
@@ -405,6 +413,7 @@ impl Mempool for StratusMempool {
             }
         } else if tag == BANLIST_RESET_TAG {
             self.lb.reset_banlist();
+            self.pending_reset = true;
             effects.timer(self.lb.banlist_reset_interval(), BANLIST_RESET_TAG);
         } else if tag == LIMITER_TAG {
             self.drain_deferred(now, &mut effects);
@@ -555,6 +564,23 @@ impl Mempool for StratusMempool {
     fn set_telemetry(&mut self, telemetry: Telemetry) {
         self.lb.set_telemetry(telemetry.clone());
         self.telemetry = telemetry;
+    }
+
+    fn load_snapshot(&mut self) -> Option<LoadSnapshot> {
+        if !self.lb.enabled() {
+            return None;
+        }
+        let mut own_bans: Vec<ReplicaId> = self.lb.own_banned().into_iter().collect();
+        own_bans.sort();
+        Some(LoadSnapshot {
+            samples: std::mem::take(&mut self.pending_load),
+            own_bans,
+            reset: std::mem::take(&mut self.pending_reset),
+        })
+    }
+
+    fn apply_load_view(&mut self, banned: &[ReplicaId]) {
+        self.lb.apply_ban_view(&banned.iter().copied().collect());
     }
 
     fn stats(&self) -> MempoolStats {

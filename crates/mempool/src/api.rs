@@ -129,6 +129,22 @@ impl<M> Effects<M> {
     }
 }
 
+/// Load-coordination snapshot drained from one mempool instance so an
+/// external coordinator (the sharded wrapper's
+/// `stratus::ShardLoadCoordinator`) can merge per-shard DLB state into
+/// one coherent cross-shard view.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct LoadSnapshot {
+    /// `LbInfo` load-status replies observed since the last snapshot, in
+    /// arrival order (`None` = the peer reported itself busy).
+    pub samples: Vec<(ReplicaId, Option<SimTime>)>,
+    /// The instance's current *own* bans (forwards in flight / timed
+    /// out), sorted for determinism.
+    pub own_bans: Vec<ReplicaId>,
+    /// Whether the periodic banList reset fired since the last snapshot.
+    pub reset: bool,
+}
+
 /// Outcome of verifying / filling an incoming proposal.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum FillStatus {
@@ -219,6 +235,18 @@ pub trait Mempool {
     /// must never influence behavior — results have to stay byte-identical
     /// whether the handle is live or disabled.
     fn set_telemetry(&mut self, _telemetry: Telemetry) {}
+
+    /// Drains the instance's load-coordination state for an external
+    /// coordinator.  `None` (the default) means the mempool performs no
+    /// distributed load balancing and needs no coordination.
+    fn load_snapshot(&mut self) -> Option<LoadSnapshot> {
+        None
+    }
+
+    /// Imposes a coordinator-merged ban view on this instance (replacing
+    /// any previously imposed view; the instance's own bans are
+    /// unaffected).  The default ignores it.
+    fn apply_load_view(&mut self, _banned: &[ReplicaId]) {}
 }
 
 #[cfg(test)]

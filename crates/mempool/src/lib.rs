@@ -28,7 +28,9 @@ pub mod native;
 pub mod simple;
 pub mod store;
 
-pub use api::{Dest, Effects, FillStatus, Mempool, MempoolEvent, MempoolStats, TimerTag};
+pub use api::{
+    Dest, Effects, FillStatus, LoadSnapshot, Mempool, MempoolEvent, MempoolStats, TimerTag,
+};
 pub use batcher::{BatchOutcome, TxBatcher, BATCH_TIMEOUT_TAG};
 pub use fetcher::{FetchAction, FetchRetryState, FETCH_TAG_BASE};
 pub use gossip::GossipSmp;

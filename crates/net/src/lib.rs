@@ -1,0 +1,67 @@
+//! `smp-net` — the real-socket runtime.
+//!
+//! `simnet` drives every [`Node`](simnet::Node) of a deployment inside
+//! one process on a virtual clock.  This crate is the *second* runtime:
+//! each process owns exactly one node, peers talk over real
+//! `std::net` TCP on the loopback or a LAN, and timers run on
+//! `std::time` wall-clock.  Protocol code is untouched — the same
+//! `Replica`/`Mempool`/consensus state machines run under either
+//! runtime, invoked through [`simnet::NodeDriver`] so their RNG streams
+//! match the simulator's exactly.
+//!
+//! Design points, mirroring the paper's prototype transport:
+//!
+//! * **thread-per-peer I/O** — one reader thread per inbound connection,
+//!   one writer thread per outbound connection (no async runtime; the
+//!   image has no tokio),
+//! * **two-lane outbound queues** — each writer drains a high-priority
+//!   lane (consensus messages, the Stratus prioritization bit) before
+//!   the bulk lane (microblocks, fetch responses),
+//! * **length-prefixed frames** — byte encoding is supplied by the
+//!   embedding crate through [`WireMsg`] (for replicas, the
+//!   `smp-replica::wire::codec` module), and malformed frames kill the
+//!   connection rather than the process.
+
+pub mod runtime;
+
+use std::fmt;
+
+pub use runtime::{ClusterSpec, NetReport, NetRuntime};
+
+/// Error raised while framing or deframing a message.
+///
+/// Deliberately a plain string wrapper: the concrete codec (and its
+/// richer error enum) lives in the crate that owns the message type;
+/// the runtime only needs to know *that* a frame is bad, log it, and
+/// drop the connection.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WireError(pub String);
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "wire error: {}", self.0)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A message type that can travel over a real socket.
+///
+/// Frames are `HEADER_BYTES` of fixed-size header followed by a body
+/// whose length the header states.  The runtime reads exactly the
+/// header, asks [`WireMsg::body_len`] how much more to read, then hands
+/// header + body to [`WireMsg::decode`].  Any error is terminal for the
+/// connection (strict rejection — no resync scanning).
+pub trait WireMsg: simnet::SimMessage + Send + Sized + 'static {
+    /// Fixed frame-header size in bytes.
+    const HEADER_BYTES: usize;
+
+    /// Encodes the full frame (header + body).
+    fn encode(&self) -> Vec<u8>;
+
+    /// Validates a header and returns the body length that follows it.
+    fn body_len(header: &[u8]) -> Result<usize, WireError>;
+
+    /// Decodes a message from a validated header and its complete body.
+    fn decode(header: &[u8], body: &[u8]) -> Result<Self, WireError>;
+}

@@ -1,0 +1,546 @@
+//! The socket runtime: peer connections, two-lane writers, wall-clock
+//! timers, and the main event loop driving one [`Node`].
+
+use crate::{WireError, WireMsg};
+use simnet::{Node, NodeAction, NodeDriver, ObservationLog, Telemetry};
+use smp_types::{ReplicaId, SimTime};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashSet, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Live inbound connections with their reader threads, shared between
+/// the accept loop and the shutdown path.
+type ReaderRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
+
+/// Hello preamble exchanged once per connection: magic + dialer id.
+const HELLO_MAGIC: [u8; 4] = *b"SMPH";
+const HELLO_BYTES: usize = 8;
+
+/// How the runtime finds its peers.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// This process's replica id.
+    pub me: ReplicaId,
+    /// Listen address of every replica, indexed by replica id.
+    pub addrs: Vec<SocketAddr>,
+    /// Deployment-wide seed (must match the reference simulation's).
+    pub seed: u64,
+    /// How long to keep retrying dials during cluster formation.
+    pub connect_timeout: Duration,
+}
+
+impl ClusterSpec {
+    /// A spec for replica `me` of the cluster at `addrs`.
+    pub fn new(me: ReplicaId, addrs: Vec<SocketAddr>, seed: u64) -> Self {
+        ClusterSpec {
+            me,
+            addrs,
+            seed,
+            connect_timeout: Duration::from_secs(10),
+        }
+    }
+
+    /// Number of replicas.
+    pub fn n(&self) -> usize {
+        self.addrs.len()
+    }
+}
+
+/// What one runtime run produced.
+#[derive(Debug)]
+pub struct NetReport<N> {
+    /// The node, after the run (extract metrics/commit logs from it).
+    pub node: N,
+    /// Every observation the node emitted, in emission order, stamped
+    /// with wall-clock microseconds since the run's epoch.
+    pub observations: ObservationLog,
+    /// Frames received from peers.
+    pub frames_in: u64,
+    /// Frames enqueued to peers.
+    pub frames_out: u64,
+    /// Payload bytes received from peers.
+    pub bytes_in: u64,
+    /// Payload bytes enqueued to peers.
+    pub bytes_out: u64,
+    /// Wall-clock duration of the run, in microseconds.
+    pub wall_us: u64,
+    /// Per-peer connection/codec failures observed during the run.
+    pub peer_errors: Vec<String>,
+}
+
+/// Two outbound lanes per peer: consensus-priority drains before bulk.
+struct Lanes {
+    high: VecDeque<Vec<u8>>,
+    bulk: VecDeque<Vec<u8>>,
+    closed: bool,
+}
+
+struct PeerTx {
+    lanes: Mutex<Lanes>,
+    cv: Condvar,
+}
+
+impl PeerTx {
+    fn new() -> Self {
+        PeerTx {
+            lanes: Mutex::new(Lanes {
+                high: VecDeque::new(),
+                bulk: VecDeque::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn enqueue(&self, frame: Vec<u8>, priority: bool) {
+        let mut lanes = self.lanes.lock().expect("writer lane poisoned");
+        if lanes.closed {
+            return;
+        }
+        if priority {
+            lanes.high.push_back(frame);
+        } else {
+            lanes.bulk.push_back(frame);
+        }
+        self.cv.notify_one();
+    }
+
+    fn close(&self) {
+        let mut lanes = self.lanes.lock().expect("writer lane poisoned");
+        lanes.closed = true;
+        self.cv.notify_one();
+    }
+
+    /// Blocks until a frame is available (priority lane first) or the
+    /// queue is closed *and* fully drained.
+    fn next(&self) -> Option<Vec<u8>> {
+        let mut lanes = self.lanes.lock().expect("writer lane poisoned");
+        loop {
+            if let Some(f) = lanes.high.pop_front() {
+                return Some(f);
+            }
+            if let Some(f) = lanes.bulk.pop_front() {
+                return Some(f);
+            }
+            if lanes.closed {
+                return None;
+            }
+            lanes = self.cv.wait(lanes).expect("writer lane poisoned");
+        }
+    }
+}
+
+/// Events flowing from the I/O threads into the main loop.
+enum Ev<M> {
+    PeerUp(ReplicaId),
+    Msg {
+        from: ReplicaId,
+        msg: M,
+        bytes: usize,
+    },
+    PeerGone {
+        from: ReplicaId,
+        error: Option<WireError>,
+    },
+}
+
+/// Drives one [`Node`] over real TCP connections and wall-clock timers.
+pub struct NetRuntime<N: Node>
+where
+    N::Msg: WireMsg,
+{
+    driver: NodeDriver<N>,
+    spec: ClusterSpec,
+}
+
+impl<N: Node> NetRuntime<N>
+where
+    N::Msg: WireMsg,
+{
+    /// Wraps `node` for the deployment described by `spec`.  The node's
+    /// RNG stream is seeded exactly as the reference simulation would
+    /// seed it ([`simnet::node_rng_seed`]).
+    pub fn new(node: N, spec: ClusterSpec, telemetry: Telemetry) -> Self {
+        let n = spec.n();
+        assert!(
+            spec.me.index() < n,
+            "me={} out of range for {n} addresses",
+            spec.me.0
+        );
+        let driver = NodeDriver::new(node, spec.me, n, spec.seed, telemetry);
+        NetRuntime { driver, spec }
+    }
+
+    /// Forms the cluster, runs the node for `horizon_us` wall-clock
+    /// microseconds, shuts everything down cleanly, and reports.
+    ///
+    /// Cluster formation is a barrier: the node's `on_start` only runs
+    /// once every outbound dial has succeeded *and* every peer's inbound
+    /// connection has said hello, so no frames are lost to startup races.
+    pub fn run(mut self, horizon_us: u64) -> io::Result<NetReport<N>> {
+        let n = self.spec.n();
+        let me = self.spec.me;
+        let peers = n - 1;
+
+        let listener = TcpListener::bind(self.spec.addrs[me.index()])?;
+        listener.set_nonblocking(true)?;
+
+        let (tx, rx) = mpsc::channel::<Ev<N::Msg>>();
+        let stop = Arc::new(AtomicBool::new(false));
+        let readers: ReaderRegistry = Arc::new(Mutex::new(Vec::new()));
+
+        let accept_handle = {
+            let tx = tx.clone();
+            let stop = Arc::clone(&stop);
+            let readers = Arc::clone(&readers);
+            let deadline = Instant::now() + self.spec.connect_timeout;
+            thread::spawn(move || {
+                accept_loop::<N::Msg>(listener, peers, tx, stop, readers, deadline)
+            })
+        };
+
+        // Dial every peer (retrying while it binds) and start its writer.
+        let mut peer_txs: Vec<Option<Arc<PeerTx>>> = (0..n).map(|_| None).collect();
+        let mut writer_handles = Vec::new();
+        let mut writer_streams = Vec::new();
+        for (i, slot) in peer_txs.iter_mut().enumerate() {
+            if i == me.index() {
+                continue;
+            }
+            let stream = dial(self.spec.addrs[i], self.spec.connect_timeout)?;
+            stream.set_nodelay(true).ok();
+            let mut hello = Vec::with_capacity(HELLO_BYTES);
+            hello.extend_from_slice(&HELLO_MAGIC);
+            hello.extend_from_slice(&me.0.to_be_bytes());
+            let mut s = stream.try_clone()?;
+            s.write_all(&hello)?;
+            let peer_tx = Arc::new(PeerTx::new());
+            *slot = Some(Arc::clone(&peer_tx));
+            writer_streams.push(stream.try_clone()?);
+            writer_handles.push(thread::spawn(move || writer_loop(stream, peer_tx)));
+        }
+
+        // Barrier: wait for all inbound hellos; buffer any early frames.
+        let mut pending: VecDeque<(ReplicaId, N::Msg, usize)> = VecDeque::new();
+        let mut peer_errors = Vec::new();
+        let mut up: HashSet<ReplicaId> = HashSet::new();
+        let formation_deadline = Instant::now() + self.spec.connect_timeout;
+        while up.len() < peers {
+            let left = formation_deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                stop.store(true, Ordering::Relaxed);
+                return Err(io::Error::new(
+                    io::ErrorKind::TimedOut,
+                    format!("cluster formation timed out: {}/{peers} peers up", up.len()),
+                ));
+            }
+            match rx.recv_timeout(left) {
+                Ok(Ev::PeerUp(from)) => {
+                    up.insert(from);
+                }
+                Ok(Ev::Msg { from, msg, bytes }) => pending.push_back((from, msg, bytes)),
+                Ok(Ev::PeerGone { from, error }) => {
+                    // A clean EOF is a peer shutting down; only codec
+                    // failures are errors.
+                    if let Some(e) = error {
+                        peer_errors.push(format!("peer {}: {e}", from.0));
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => unreachable!("main keeps a sender"),
+            }
+        }
+
+        // The cluster is formed: start the clock and the node.
+        let epoch = Instant::now();
+        let mut st = RunState {
+            timers: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            loopback: VecDeque::new(),
+            observations: ObservationLog::new(),
+            peer_txs,
+            frames_in: 0,
+            frames_out: 0,
+            bytes_in: 0,
+            bytes_out: 0,
+        };
+        let now0 = now_us(epoch);
+        let actions = self.driver.start(now0);
+        st.apply(actions);
+        for (from, msg, bytes) in pending.drain(..) {
+            st.frames_in += 1;
+            st.bytes_in += bytes as u64;
+            let now = now_us(epoch);
+            let actions = self.driver.deliver(now, from, msg);
+            st.apply(actions);
+        }
+
+        loop {
+            // Self-sends first: they model the simulator's 1 µs loopback.
+            while let Some((from, msg)) = st.loopback.pop_front() {
+                let now = now_us(epoch);
+                if now >= horizon_us {
+                    break;
+                }
+                let actions = self.driver.deliver(now, from, msg);
+                st.apply(actions);
+            }
+            let mut now = now_us(epoch);
+            // Fire every due timer.
+            while let Some(&Reverse((at, timer_id, tag))) = st.timers.peek() {
+                if at > now || now >= horizon_us {
+                    break;
+                }
+                st.timers.pop();
+                if st.cancelled.remove(&timer_id) {
+                    continue;
+                }
+                let actions = self.driver.timer(now, tag);
+                st.apply(actions);
+                now = now_us(epoch);
+            }
+            if now >= horizon_us {
+                break;
+            }
+            if !st.loopback.is_empty() {
+                continue;
+            }
+            let wake = st
+                .timers
+                .peek()
+                .map(|&Reverse((at, _, _))| at)
+                .unwrap_or(horizon_us)
+                .min(horizon_us);
+            let timeout = Duration::from_micros(wake.saturating_sub(now_us(epoch)));
+            match rx.recv_timeout(timeout) {
+                Ok(Ev::Msg { from, msg, bytes }) => {
+                    st.frames_in += 1;
+                    st.bytes_in += bytes as u64;
+                    let now = now_us(epoch);
+                    let actions = self.driver.deliver(now, from, msg);
+                    st.apply(actions);
+                }
+                Ok(Ev::PeerGone { from, error }) => {
+                    // A clean EOF is a peer shutting down; only codec
+                    // failures are errors.
+                    if let Some(e) = error {
+                        peer_errors.push(format!("peer {}: {e}", from.0));
+                    }
+                }
+                Ok(Ev::PeerUp(_)) => {}
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => unreachable!("main keeps a sender"),
+            }
+        }
+
+        // Clean shutdown: stop accepting, flush and close writers, then
+        // unblock and join readers.
+        stop.store(true, Ordering::Relaxed);
+        for peer_tx in st.peer_txs.iter().flatten() {
+            peer_tx.close();
+        }
+        for h in writer_handles {
+            h.join().map_err(|_| panicked("writer"))?;
+        }
+        for s in &writer_streams {
+            s.shutdown(Shutdown::Both).ok();
+        }
+        accept_handle.join().map_err(|_| panicked("acceptor"))?;
+        let readers = std::mem::take(&mut *readers.lock().expect("reader registry poisoned"));
+        for (stream, handle) in readers {
+            stream.shutdown(Shutdown::Both).ok();
+            handle.join().map_err(|_| panicked("reader"))?;
+        }
+        drop(tx);
+
+        Ok(NetReport {
+            node: self.driver.into_node(),
+            observations: st.observations,
+            frames_in: st.frames_in,
+            frames_out: st.frames_out,
+            bytes_in: st.bytes_in,
+            bytes_out: st.bytes_out,
+            wall_us: now_us(epoch),
+            peer_errors,
+        })
+    }
+}
+
+/// Per-run mutable state the action applier needs.
+struct RunState<M> {
+    /// (fire-at, timer-id, tag), min-heap by fire time.
+    timers: BinaryHeap<Reverse<(SimTime, u64, u64)>>,
+    cancelled: HashSet<u64>,
+    loopback: VecDeque<(ReplicaId, M)>,
+    observations: ObservationLog,
+    peer_txs: Vec<Option<Arc<PeerTx>>>,
+    frames_in: u64,
+    frames_out: u64,
+    bytes_in: u64,
+    bytes_out: u64,
+}
+
+impl<M: WireMsg> RunState<M> {
+    fn apply(&mut self, actions: Vec<NodeAction<M>>) {
+        for action in actions {
+            match action {
+                NodeAction::Send { to, msg } => {
+                    if to.index() >= self.peer_txs.len() {
+                        continue;
+                    }
+                    match &self.peer_txs[to.index()] {
+                        // `None` is this node itself: deliver locally.
+                        None => self.loopback.push_back((to, msg)),
+                        Some(peer_tx) => {
+                            let priority = msg.high_priority();
+                            let frame = msg.encode();
+                            self.frames_out += 1;
+                            self.bytes_out += frame.len() as u64;
+                            peer_tx.enqueue(frame, priority);
+                        }
+                    }
+                }
+                NodeAction::SetTimer { at, timer_id, tag } => {
+                    self.timers.push(Reverse((at, timer_id, tag)));
+                }
+                NodeAction::CancelTimer { timer_id } => {
+                    self.cancelled.insert(timer_id);
+                }
+                NodeAction::Observe(obs) => self.observations.push(obs),
+            }
+        }
+    }
+}
+
+fn now_us(epoch: Instant) -> u64 {
+    epoch.elapsed().as_micros() as u64
+}
+
+fn panicked(what: &str) -> io::Error {
+    io::Error::other(format!("{what} thread panicked"))
+}
+
+fn dial(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+    let deadline = Instant::now() + timeout;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) => {
+                if Instant::now() >= deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!("dialing {addr} timed out: {e}"),
+                    ));
+                }
+                thread::sleep(Duration::from_millis(10));
+            }
+        }
+    }
+}
+
+fn accept_loop<M: WireMsg>(
+    listener: TcpListener,
+    expected: usize,
+    tx: Sender<Ev<M>>,
+    stop: Arc<AtomicBool>,
+    readers: ReaderRegistry,
+    deadline: Instant,
+) {
+    let mut accepted = 0usize;
+    while accepted < expected && !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                stream.set_nonblocking(false).ok();
+                stream.set_nodelay(true).ok();
+                let Some(from) = read_hello(&stream) else {
+                    continue;
+                };
+                accepted += 1;
+                let clone = match stream.try_clone() {
+                    Ok(c) => c,
+                    Err(_) => continue,
+                };
+                let tx2 = tx.clone();
+                tx.send(Ev::PeerUp(from)).ok();
+                let handle = thread::spawn(move || reader_loop(stream, from, tx2));
+                readers
+                    .lock()
+                    .expect("reader registry poisoned")
+                    .push((clone, handle));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn read_hello(mut stream: &TcpStream) -> Option<ReplicaId> {
+    let mut hello = [0u8; HELLO_BYTES];
+    stream.read_exact(&mut hello).ok()?;
+    if hello[..4] != HELLO_MAGIC {
+        return None;
+    }
+    Some(ReplicaId(u32::from_be_bytes([
+        hello[4], hello[5], hello[6], hello[7],
+    ])))
+}
+
+fn reader_loop<M: WireMsg>(mut stream: TcpStream, from: ReplicaId, tx: Sender<Ev<M>>) {
+    let mut header = vec![0u8; M::HEADER_BYTES];
+    loop {
+        if stream.read_exact(&mut header).is_err() {
+            tx.send(Ev::PeerGone { from, error: None }).ok();
+            return;
+        }
+        let body_len = match M::body_len(&header) {
+            Ok(len) => len,
+            Err(e) => {
+                tx.send(Ev::PeerGone {
+                    from,
+                    error: Some(e),
+                })
+                .ok();
+                return;
+            }
+        };
+        let mut body = vec![0u8; body_len];
+        if stream.read_exact(&mut body).is_err() {
+            tx.send(Ev::PeerGone { from, error: None }).ok();
+            return;
+        }
+        match M::decode(&header, &body) {
+            Ok(msg) => {
+                let bytes = M::HEADER_BYTES + body_len;
+                if tx.send(Ev::Msg { from, msg, bytes }).is_err() {
+                    return;
+                }
+            }
+            Err(e) => {
+                tx.send(Ev::PeerGone {
+                    from,
+                    error: Some(e),
+                })
+                .ok();
+                return;
+            }
+        }
+    }
+}
+
+fn writer_loop(mut stream: TcpStream, peer_tx: Arc<PeerTx>) {
+    while let Some(frame) = peer_tx.next() {
+        if stream.write_all(&frame).is_err() {
+            return;
+        }
+    }
+    stream.flush().ok();
+    stream.shutdown(Shutdown::Write).ok();
+}

@@ -203,7 +203,7 @@ impl ExperimentConfig {
         net
     }
 
-    fn behavior_for(&self, i: usize) -> Behavior {
+    pub(crate) fn behavior_for(&self, i: usize) -> Behavior {
         let byz_start = self.n.saturating_sub(self.num_byzantine);
         let silent_start = byz_start.saturating_sub(self.num_silent);
         if i >= byz_start {
@@ -217,7 +217,7 @@ impl ExperimentConfig {
         }
     }
 
-    fn stratus_config(&self, sys: &SystemConfig) -> StratusConfig {
+    pub(crate) fn stratus_config(&self, sys: &SystemConfig) -> StratusConfig {
         let dlb = if self.dlb_enabled {
             DlbConfig::default().with_d(self.dlb_d)
         } else {

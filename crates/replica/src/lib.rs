@@ -9,11 +9,17 @@
 //! runner that produces one figure/table data point per call.
 
 pub mod experiment;
+pub mod netrun;
 pub mod protocols;
 pub mod replica;
 pub mod wire;
 
 pub use experiment::{run, saturation_sweep, ExperimentConfig, ExperimentResult};
+pub use netrun::{run_replica_over_net, sim_commit_logs, NetRunOptions, NetRunSummary};
 pub use protocols::Protocol;
 pub use replica::{Behavior, Replica, ReplicaMetrics};
+pub use wire::codec::{
+    decode_frame, encode_frame, DecodeError, FrameHeader, WireCodec, CODEC_VERSION,
+    FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+};
 pub use wire::{MempoolWire, ReplicaMsg, ReplicaPayload};

@@ -6,7 +6,7 @@ use simnet::{Node, NodeCtx, ObsKind, TimerTag};
 use smp_consensus::{CDest, CEffects, CEvent, ConsensusEngine, ProposalVerdict};
 use smp_mempool::{Dest, Effects, FillStatus, Mempool, MempoolEvent};
 use smp_metrics::{LatencyHistogram, ThroughputMeter};
-use smp_types::{BlockId, Proposal, ReplicaId, SimTime, SystemConfig, View};
+use smp_types::{BlockId, Payload, Proposal, ReplicaId, SimTime, SystemConfig, TxId, View};
 use smp_workload::TxFactory;
 use std::collections::{HashMap, HashSet};
 
@@ -78,6 +78,14 @@ where
     pending_verdicts: HashSet<BlockId>,
     /// Proposals indexed by id, needed when a deferred verdict resolves.
     known_proposals: HashMap<BlockId, View>,
+    /// Cap on the total client transactions this replica offers (used by
+    /// the runtime-conformance harness to make workloads finite).
+    tx_limit: Option<u64>,
+    /// When enabled, every inline transaction id of every committed
+    /// proposal, in commit order.  This is the cross-runtime conformance
+    /// artifact: a simnet run and an `smp-net` run of the same
+    /// configuration must produce byte-identical logs.
+    commit_log: Option<Vec<TxId>>,
 }
 
 impl<E, M> Replica<E, M>
@@ -111,7 +119,27 @@ where
             metrics: ReplicaMetrics::default(),
             pending_verdicts: HashSet::new(),
             known_proposals: HashMap::new(),
+            tx_limit: None,
+            commit_log: None,
         }
+    }
+
+    /// Caps the total number of client transactions this replica offers.
+    /// Once `limit` transactions have been generated the workload tick
+    /// stops producing (the tick timer keeps running).
+    pub fn limit_client_txs(&mut self, limit: u64) {
+        self.tx_limit = Some(limit);
+    }
+
+    /// Starts recording committed inline transaction ids in commit order.
+    pub fn enable_commit_log(&mut self) {
+        self.commit_log = Some(Vec::new());
+    }
+
+    /// The recorded commit log (`None` unless
+    /// [`enable_commit_log`](Self::enable_commit_log) was called).
+    pub fn commit_log(&self) -> Option<&[TxId]> {
+        self.commit_log.as_deref()
     }
 
     /// The replica's identity.
@@ -212,6 +240,9 @@ where
     }
 
     fn handle_commit(&mut self, ctx: &mut NodeCtx<'_, ReplicaMsg<M::Msg>>, proposal: Proposal) {
+        if let Some(log) = self.commit_log.as_mut() {
+            record_inline_txs(log, &proposal.payload);
+        }
         let now = ctx.now();
         let span = ctx.telemetry().span_at("replica.commit", now);
         let fx = self.mempool.on_commit(now, &proposal);
@@ -319,6 +350,26 @@ where
     }
 }
 
+/// Appends every inline transaction id of `payload` to `log`, in payload
+/// order (shard groups in group order).  Referenced payloads contribute
+/// nothing: the conformance harness only runs inline-payload protocols.
+fn record_inline_txs(log: &mut Vec<TxId>, payload: &Payload) {
+    match payload {
+        Payload::Inline(txs) => log.extend(txs.iter().map(|t| t.id)),
+        // Ref payloads commit whole microblocks; the microblock id digest
+        // stands in for its transactions so ref-based protocols (SMP,
+        // Narwhal, Stratus) still produce a comparable commit sequence
+        // across runtimes.
+        Payload::Refs(refs) => log.extend(refs.iter().map(|r| TxId(r.id.0))),
+        Payload::Empty => {}
+        Payload::Sharded(groups) => {
+            for (_, p) in groups {
+                record_inline_txs(log, p);
+            }
+        }
+    }
+}
+
 impl<M> ReplicaMsg<M>
 where
     M: MempoolWire,
@@ -377,7 +428,11 @@ where
         }
         let now = ctx.now();
         if tag == TICK_TAG {
-            let txs = self.factory.tick(now, TICK_INTERVAL, self.rate_tps);
+            let mut txs = self.factory.tick(now, TICK_INTERVAL, self.rate_tps);
+            if let Some(limit) = self.tx_limit {
+                let left = limit.saturating_sub(self.metrics.client_txs) as usize;
+                txs.truncate(left);
+            }
             if !txs.is_empty() {
                 self.metrics.client_txs += txs.len() as u64;
                 let fx = self.mempool.on_client_txs(now, txs, ctx.rng());

@@ -7,6 +7,8 @@
 //! the priority bit used by the Stratus "prioritize consensus messages"
 //! optimization.
 
+pub mod codec;
+
 use simnet::SimMessage;
 use smp_consensus::ConsensusMsg;
 use smp_mempool::{NarwhalMsg, NativeMsg, SmpMsg};

@@ -35,7 +35,7 @@
 
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
-use smp_mempool::{Effects, FillStatus, Mempool, MempoolStats, TimerTag};
+use smp_mempool::{Effects, FillStatus, LoadSnapshot, Mempool, MempoolStats, TimerTag};
 use smp_telemetry::Telemetry;
 use smp_types::{Payload, Proposal, ReplicaId, SimTime, Transaction};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -87,6 +87,15 @@ pub enum ShardOp<M: Mempool> {
         /// The sub-proposal carrying only this shard's payload group.
         proposal: Proposal,
     },
+    /// Drain the shard's load-coordination state
+    /// ([`Mempool::load_snapshot`]).
+    LoadSnapshot,
+    /// Impose a coordinator-merged ban view
+    /// ([`Mempool::apply_load_view`]).
+    ApplyLoadView {
+        /// The merged cross-shard ban view.
+        banned: Vec<ReplicaId>,
+    },
 }
 
 // Manual impl: a derive would demand `M: Debug`, but only `M::Msg` (which
@@ -123,6 +132,11 @@ impl<M: Mempool> std::fmt::Debug for ShardOp<M> {
                 .field("now", now)
                 .field("id", &proposal.id)
                 .finish(),
+            ShardOp::LoadSnapshot => f.debug_struct("LoadSnapshot").finish(),
+            ShardOp::ApplyLoadView { banned } => f
+                .debug_struct("ApplyLoadView")
+                .field("banned", &banned.len())
+                .finish(),
         }
     }
 }
@@ -135,6 +149,9 @@ pub enum ShardOutput<M: Mempool> {
     Payload(Payload),
     /// Verdict and effects from [`ShardOp::Proposal`].
     Fill(FillStatus, Effects<<M as Mempool>::Msg>),
+    /// The drained state from [`ShardOp::LoadSnapshot`] (`None` when the
+    /// backend performs no load balancing).
+    Snapshot(Option<LoadSnapshot>),
 }
 
 impl<M: Mempool> std::fmt::Debug for ShardOutput<M> {
@@ -143,6 +160,7 @@ impl<M: Mempool> std::fmt::Debug for ShardOutput<M> {
             ShardOutput::Effects(fx) => f.debug_tuple("Effects").field(fx).finish(),
             ShardOutput::Payload(p) => f.debug_tuple("Payload").field(p).finish(),
             ShardOutput::Fill(status, fx) => f.debug_tuple("Fill").field(status).field(fx).finish(),
+            ShardOutput::Snapshot(s) => f.debug_tuple("Snapshot").field(s).finish(),
         }
     }
 }
@@ -172,6 +190,14 @@ impl<M: Mempool> ShardOutput<M> {
             other => panic!("expected Fill output, got {other:?}"),
         }
     }
+
+    /// Unwraps a load-snapshot output.
+    pub fn into_snapshot(self) -> Option<LoadSnapshot> {
+        match self {
+            ShardOutput::Snapshot(s) => s,
+            other => panic!("expected Snapshot output, got {other:?}"),
+        }
+    }
 }
 
 /// Applies one operation to one shard instance.
@@ -188,6 +214,11 @@ fn apply<M: Mempool>(shard: &mut M, rng: &mut SmallRng, op: ShardOp<M>) -> Shard
             ShardOutput::Fill(status, fx)
         }
         ShardOp::Commit { now, proposal } => ShardOutput::Effects(shard.on_commit(now, &proposal)),
+        ShardOp::LoadSnapshot => ShardOutput::Snapshot(shard.load_snapshot()),
+        ShardOp::ApplyLoadView { banned } => {
+            shard.apply_load_view(&banned);
+            ShardOutput::Effects(Effects::none())
+        }
     }
 }
 
@@ -329,12 +360,16 @@ impl<M: Mempool> ShardExecutor<M> for SequentialExecutor<M> {
 
 /// What travels into a worker's inbox.
 enum Cmd<M: Mempool> {
-    /// Apply an operation; reply with `Reply::Output(id, ..)`.
-    Op(u64, ShardOp<M>),
+    /// Apply a batch of operations in order; reply with one
+    /// `Reply::Outputs` carrying every result.  Batching the whole
+    /// hand-off into one channel crossing (instead of one per operation)
+    /// is what keeps the cross-shard fan-out cheap: a `k`-shard call
+    /// costs `2k` channel operations, not `2 × ops`.
+    Ops(Vec<(u64, ShardOp<M>)>),
     /// Reply with a stats snapshot.
     Stats,
     /// Install a telemetry handle on the worker's shard (no reply —
-    /// the FIFO inbox orders it before any subsequent `Op`).
+    /// the FIFO inbox orders it before any subsequent `Ops`).
     SetTelemetry(Box<Telemetry>),
     /// Exit the worker loop.
     Shutdown,
@@ -342,7 +377,7 @@ enum Cmd<M: Mempool> {
 
 /// What travels back from a worker.
 enum Reply<M: Mempool> {
-    Output(u64, ShardOutput<M>),
+    Outputs(Vec<(u64, ShardOutput<M>)>),
     Stats(Box<MempoolStats>),
 }
 
@@ -360,7 +395,11 @@ fn worker_loop<M: Mempool>(
 ) {
     while let Ok(cmd) = inbox.recv() {
         let reply = match cmd {
-            Cmd::Op(id, op) => Reply::Output(id, apply(&mut shard, &mut rng, op)),
+            Cmd::Ops(ops) => Reply::Outputs(
+                ops.into_iter()
+                    .map(|(id, op)| (id, apply(&mut shard, &mut rng, op)))
+                    .collect(),
+            ),
             Cmd::Stats => Reply::Stats(Box::new(shard.stats())),
             Cmd::SetTelemetry(telemetry) => {
                 shard.set_telemetry(*telemetry);
@@ -440,6 +479,17 @@ where
     }
 }
 
+impl<M: Mempool> ParallelExecutor<M> {
+    /// A specific inner instance, when it lives on the calling thread
+    /// (the inline degenerate mode).  Worker-owned shards return `None`.
+    pub fn shard(&self, index: usize) -> Option<&M> {
+        match &self.mode {
+            ParMode::Inline(seq) => Some(seq.shard(index)),
+            ParMode::Workers(_) => None,
+        }
+    }
+}
+
 impl<M: Mempool> ShardExecutor<M> for ParallelExecutor<M> {
     fn shard_count(&self) -> usize {
         match &self.mode {
@@ -458,21 +508,34 @@ impl<M: Mempool> ShardExecutor<M> for ParallelExecutor<M> {
             ParMode::Workers(workers) => workers,
         };
         let n = ops.len();
-        let mut expected = vec![0usize; workers.len()];
+        // One batch per worker: per-shard submission order is preserved
+        // inside the batch, and the whole hand-off costs one send and
+        // one recv per *shard* instead of per operation.
+        let mut batches: Vec<Vec<(u64, ShardOp<M>)>> =
+            (0..workers.len()).map(|_| Vec::new()).collect();
         for (id, (shard, op)) in ops.into_iter().enumerate() {
-            expected[shard as usize] += 1;
-            workers[shard as usize]
+            batches[shard as usize].push((id as u64, op));
+        }
+        let mut busy = Vec::new();
+        for (s, batch) in batches.into_iter().enumerate() {
+            if batch.is_empty() {
+                continue;
+            }
+            workers[s]
                 .inbox
-                .send(Cmd::Op(id as u64, op))
+                .send(Cmd::Ops(batch))
                 .expect("shard worker alive");
+            busy.push(s);
         }
         let mut out: Vec<Option<ShardOutput<M>>> = (0..n).map(|_| None).collect();
-        for (worker, count) in workers.iter().zip(&expected) {
-            for _ in 0..*count {
-                match worker.replies.recv().expect("shard worker alive") {
-                    Reply::Output(id, output) => out[id as usize] = Some(output),
-                    Reply::Stats(_) => unreachable!("no stats requested during run"),
+        for s in busy {
+            match workers[s].replies.recv().expect("shard worker alive") {
+                Reply::Outputs(outputs) => {
+                    for (id, output) in outputs {
+                        out[id as usize] = Some(output);
+                    }
                 }
+                Reply::Stats(_) => unreachable!("no stats requested during run"),
             }
         }
         out.into_iter()
@@ -489,7 +552,7 @@ impl<M: Mempool> ShardExecutor<M> for ParallelExecutor<M> {
                     w.inbox.send(Cmd::Stats).expect("shard worker alive");
                     match w.replies.recv().expect("shard worker alive") {
                         Reply::Stats(stats) => *stats,
-                        Reply::Output(..) => unreachable!("no ops in flight"),
+                        Reply::Outputs(..) => unreachable!("no ops in flight"),
                     }
                 })
                 .collect(),
@@ -536,6 +599,18 @@ pub enum Executor<M: Mempool> {
     Sequential(SequentialExecutor<M>),
     /// One worker thread per shard.
     Parallel(ParallelExecutor<M>),
+}
+
+impl<M: Mempool> Executor<M> {
+    /// A specific inner instance, when it lives on the calling thread
+    /// (sequential or inline-parallel mode); `None` for worker-owned
+    /// shards.
+    pub fn shard(&self, index: usize) -> Option<&M> {
+        match self {
+            Executor::Sequential(e) => Some(e.shard(index)),
+            Executor::Parallel(e) => e.shard(index),
+        }
+    }
 }
 
 impl<M: Mempool> ShardExecutor<M> for Executor<M> {

@@ -89,6 +89,14 @@ pub struct ShardedMempool<M: Mempool> {
     /// still outstanding.  The aggregated `ProposalReady` is emitted when
     /// the set drains.
     pending_fills: HashMap<BlockId, HashSet<u16>>,
+    /// Merges the per-shard DLB state (LbInfo samples, in-flight bans)
+    /// into one coherent cross-shard view after every event-handling
+    /// round, so no two shards disagree on banList membership.
+    coordinator: stratus::ShardLoadCoordinator,
+    /// Whether the backend participates in load coordination — probed
+    /// lazily on the first round ([`Mempool::load_snapshot`] returning
+    /// `None` everywhere means never coordinate again).
+    load_coordinated: Option<bool>,
     /// Observability only; also pushed into the executor (per shard,
     /// re-prefixed `shard.<i>`) by [`Mempool::set_telemetry`].
     telemetry: Telemetry,
@@ -139,6 +147,8 @@ impl<M: Mempool> ShardedMempool<M> {
             carry: VecDeque::new(),
             carry_bytes: 0,
             pending_fills: HashMap::new(),
+            coordinator: stratus::ShardLoadCoordinator::new(),
+            load_coordinated: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -175,6 +185,66 @@ impl<M: Mempool> ShardedMempool<M> {
     /// Content drained from shards but not yet placed into a payload.
     pub fn carried_items(&self) -> usize {
         self.carry.len()
+    }
+
+    /// A specific backend instance, when it lives on the calling thread
+    /// (sequential or inline-parallel execution); `None` for worker-owned
+    /// shards.  For inspection and tests.
+    pub fn shard(&self, index: usize) -> Option<&M> {
+        self.executor.shard(index)
+    }
+
+    /// The cross-shard load coordinator's merged ban view (for
+    /// inspection and tests).
+    pub fn coordinated_bans(&self) -> Vec<ReplicaId> {
+        self.coordinator.banned()
+    }
+
+    /// One coordination round: drain every shard's load snapshot, fold
+    /// samples and in-flight bans into the merged view, and impose that
+    /// view back on every shard.  Backends without load balancing are
+    /// detected on the first round and skipped forever after.
+    fn coordinate_load(&mut self) {
+        let k = self.executor.shard_count();
+        if k == 1 || self.load_coordinated == Some(false) {
+            return;
+        }
+        let ops: Vec<(u16, ShardOp<M>)> =
+            (0..k as u16).map(|s| (s, ShardOp::LoadSnapshot)).collect();
+        let outputs = self.executor.run(ops, None);
+        let mut any = false;
+        for (shard, output) in (0..k as u16).zip(outputs) {
+            let Some(snap) = output.into_snapshot() else {
+                continue;
+            };
+            any = true;
+            if snap.reset {
+                self.coordinator.reset_banlist();
+            }
+            for (peer, load) in snap.samples {
+                self.coordinator.record(shard, peer, load);
+            }
+            self.coordinator
+                .absorb_bans(shard, snap.own_bans.into_iter().collect());
+        }
+        if self.load_coordinated.is_none() {
+            self.load_coordinated = Some(any);
+        }
+        if !any {
+            return;
+        }
+        let banned = self.coordinator.banned();
+        let ops: Vec<(u16, ShardOp<M>)> = (0..k as u16)
+            .map(|s| {
+                (
+                    s,
+                    ShardOp::ApplyLoadView {
+                        banned: banned.clone(),
+                    },
+                )
+            })
+            .collect();
+        let _ = self.executor.run(ops, None);
     }
 
     /// Re-tags effects coming out of shard `shard`: messages get the
@@ -218,6 +288,9 @@ impl<M: Mempool> ShardedMempool<M> {
         ops: Vec<(u16, ShardOp<M>)>,
         rng: Option<&mut SmallRng>,
     ) -> Effects<ShardedMsg<M::Msg>> {
+        if ops.is_empty() {
+            return Effects::none();
+        }
         let shards: Vec<u16> = ops.iter().map(|(s, _)| *s).collect();
         let _span = self.telemetry.span("sharded.exec");
         let outputs = self.executor.run(ops, rng);
@@ -226,6 +299,10 @@ impl<M: Mempool> ShardedMempool<M> {
         for (shard, output) in shards.into_iter().zip(outputs) {
             out.merge(self.lift(shard, output.into_effects()));
         }
+        // Event handling may have changed a shard's DLB state (an LbInfo
+        // reply arrived, a forward went out, the reset fired): fold it
+        // into the merged view before control returns to the replica.
+        self.coordinate_load();
         out
     }
 

@@ -1,0 +1,263 @@
+//! A standalone single-node driver for alternative runtimes.
+//!
+//! [`Simulation`](crate::Simulation) owns every node of a deployment and
+//! advances a virtual clock.  A *real* runtime (e.g. `smp-net`'s
+//! socket-based one) owns exactly one node per process and advances on
+//! wall-clock time — but it must invoke the node's [`Node`] handlers
+//! through the very same [`NodeCtx`] contract, with the very same
+//! deterministic per-node RNG stream, or the two runtimes diverge.
+//!
+//! [`NodeDriver`] is that contract, extracted: it wraps one node plus the
+//! per-node state the simulation would keep for it (RNG, timer-id
+//! counter, telemetry handle), and turns each handler invocation into a
+//! drained list of [`NodeAction`]s for the embedding runtime to apply
+//! however it likes (sockets, heaps of real timers, log files).
+
+use crate::context::{Action, NodeCtx, TimerTag};
+use crate::observation::Observation;
+use crate::runner::Node;
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use smp_telemetry::Telemetry;
+use smp_types::{ReplicaId, SimTime};
+
+/// The per-node RNG seed used by [`Simulation::new`](crate::Simulation::new).
+///
+/// Exposed so other runtimes hand their node the exact same RNG stream
+/// the simulator would: same `seed`, same node index ⇒ byte-identical
+/// randomness everywhere.
+pub fn node_rng_seed(seed: u64, index: usize) -> u64 {
+    seed.wrapping_mul(0x9E37_79B9).wrapping_add(index as u64)
+}
+
+/// An effect requested by a node handler, to be applied by the embedding
+/// runtime.  Mirrors the simulator's internal action set.
+#[derive(Debug)]
+pub enum NodeAction<M> {
+    /// Send `msg` to replica `to`.
+    Send {
+        /// Destination replica.
+        to: ReplicaId,
+        /// The message.
+        msg: M,
+    },
+    /// Arm a timer firing at absolute node-time `at`.
+    SetTimer {
+        /// Absolute time (same unit as the `now` passed to the handlers).
+        at: SimTime,
+        /// Runtime-unique timer id (for cancellation matching).
+        timer_id: u64,
+        /// Application tag delivered back in `on_timer`.
+        tag: TimerTag,
+    },
+    /// Disarm the timer with the given id (no-op if already fired).
+    CancelTimer {
+        /// The id returned in a previous [`NodeAction::SetTimer`].
+        timer_id: u64,
+    },
+    /// An observation emitted by the node (commits, view changes, …).
+    Observe(Observation),
+}
+
+impl<M> From<Action<M>> for NodeAction<M> {
+    fn from(a: Action<M>) -> Self {
+        match a {
+            Action::Send { to, msg } => NodeAction::Send { to, msg },
+            Action::SetTimer { at, timer_id, tag } => NodeAction::SetTimer { at, timer_id, tag },
+            Action::CancelTimer { timer_id } => NodeAction::CancelTimer { timer_id },
+            Action::Observe(obs) => NodeAction::Observe(obs),
+        }
+    }
+}
+
+/// Drives one [`Node`] outside the simulator.
+///
+/// The embedding runtime supplies `now` (its own clock, in microseconds)
+/// on every invocation and applies the returned actions.
+pub struct NodeDriver<N: Node> {
+    node: N,
+    id: ReplicaId,
+    n: usize,
+    rng: SmallRng,
+    actions: Vec<Action<N::Msg>>,
+    next_timer_id: u64,
+    telemetry: Telemetry,
+}
+
+impl<N: Node> NodeDriver<N> {
+    /// Wraps `node` as replica `id` of an `n`-replica deployment seeded
+    /// with the deployment-wide `seed` (the same value every replica and
+    /// the reference simulation use).
+    pub fn new(node: N, id: ReplicaId, n: usize, seed: u64, telemetry: Telemetry) -> Self {
+        NodeDriver {
+            node,
+            id,
+            n,
+            rng: SmallRng::seed_from_u64(node_rng_seed(seed, id.index())),
+            actions: Vec::new(),
+            next_timer_id: 0,
+            telemetry,
+        }
+    }
+
+    /// The wrapped node.
+    pub fn node(&self) -> &N {
+        &self.node
+    }
+
+    /// Mutable access to the wrapped node (post-run metric extraction).
+    pub fn node_mut(&mut self) -> &mut N {
+        &mut self.node
+    }
+
+    /// Unwraps the driver, returning the node.
+    pub fn into_node(self) -> N {
+        self.node
+    }
+
+    /// This driver's replica id.
+    pub fn id(&self) -> ReplicaId {
+        self.id
+    }
+
+    /// Invokes `on_start` at time `now`.
+    pub fn start(&mut self, now: SimTime) -> Vec<NodeAction<N::Msg>> {
+        self.invoke(now, |node, ctx| node.on_start(ctx))
+    }
+
+    /// Delivers a peer message at time `now`.
+    pub fn deliver(
+        &mut self,
+        now: SimTime,
+        from: ReplicaId,
+        msg: N::Msg,
+    ) -> Vec<NodeAction<N::Msg>> {
+        self.invoke(now, |node, ctx| node.on_message(ctx, from, msg))
+    }
+
+    /// Delivers external (client) input at time `now`.
+    pub fn client_input(&mut self, now: SimTime, msg: N::Msg) -> Vec<NodeAction<N::Msg>> {
+        self.invoke(now, |node, ctx| node.on_client_input(ctx, msg))
+    }
+
+    /// Fires the timer with application tag `tag` at time `now`.
+    pub fn timer(&mut self, now: SimTime, tag: TimerTag) -> Vec<NodeAction<N::Msg>> {
+        self.invoke(now, |node, ctx| node.on_timer(ctx, tag))
+    }
+
+    fn invoke<F>(&mut self, now: SimTime, f: F) -> Vec<NodeAction<N::Msg>>
+    where
+        F: FnOnce(&mut N, &mut NodeCtx<'_, N::Msg>),
+    {
+        debug_assert!(self.actions.is_empty());
+        {
+            let mut ctx = NodeCtx {
+                id: self.id,
+                n: self.n,
+                now,
+                rng: &mut self.rng,
+                actions: &mut self.actions,
+                next_timer_id: &mut self.next_timer_id,
+                telemetry: &self.telemetry,
+            };
+            f(&mut self.node, &mut ctx);
+        }
+        self.actions.drain(..).map(NodeAction::from).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::SimMessage;
+    use crate::netmodel::NetConfig;
+    use crate::runner::Simulation;
+    use rand::Rng;
+
+    #[derive(Clone, Debug)]
+    struct Tok(u64);
+    impl SimMessage for Tok {
+        fn wire_size(&self) -> usize {
+            8
+        }
+        fn kind(&self) -> &'static str {
+            "tok"
+        }
+    }
+
+    /// Draws from the node RNG on every event so stream divergence shows.
+    struct RngEcho {
+        draws: Vec<u64>,
+    }
+    impl Node for RngEcho {
+        type Msg = Tok;
+        fn on_start(&mut self, ctx: &mut NodeCtx<'_, Tok>) {
+            self.draws.push(ctx.rng().gen::<u64>());
+            ctx.set_timer(1_000, 7);
+        }
+        fn on_message(&mut self, ctx: &mut NodeCtx<'_, Tok>, _from: ReplicaId, msg: Tok) {
+            self.draws.push(ctx.rng().gen::<u64>().wrapping_add(msg.0));
+        }
+        fn on_timer(&mut self, ctx: &mut NodeCtx<'_, Tok>, _tag: TimerTag) {
+            self.draws.push(ctx.rng().gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn driver_rng_stream_matches_simulation() {
+        // Simulation reference: node 1 of 2, seed 42.
+        let nodes = vec![RngEcho { draws: Vec::new() }, RngEcho { draws: Vec::new() }];
+        let mut sim = Simulation::new(nodes, NetConfig::lan(), 42);
+        sim.run_until(2_000);
+        let sim_draws = sim.node(1).draws.clone();
+
+        // Driver: same node index, same seed, same invocation sequence
+        // (on_start then the armed timer).
+        let mut driver = NodeDriver::new(
+            RngEcho { draws: Vec::new() },
+            ReplicaId(1),
+            2,
+            42,
+            Telemetry::disabled(),
+        );
+        let actions = driver.start(0);
+        let mut fired = Vec::new();
+        for a in actions {
+            if let NodeAction::SetTimer { at, tag, .. } = a {
+                fired.push((at, tag));
+            }
+        }
+        assert_eq!(fired, vec![(1_000, 7)]);
+        driver.timer(1_000, 7);
+        assert_eq!(driver.node().draws, sim_draws);
+    }
+
+    #[test]
+    fn driver_assigns_unique_timer_ids_and_reports_cancellation() {
+        struct Timers;
+        impl Node for Timers {
+            type Msg = Tok;
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_, Tok>) {
+                let keep = ctx.set_timer(10, 1);
+                let drop_ = ctx.set_timer(20, 2);
+                let _ = keep;
+                ctx.cancel_timer(drop_);
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_, Tok>, _: ReplicaId, _: Tok) {}
+            fn on_timer(&mut self, _: &mut NodeCtx<'_, Tok>, _: TimerTag) {}
+        }
+        let mut driver = NodeDriver::new(Timers, ReplicaId(0), 1, 1, Telemetry::disabled());
+        let actions = driver.start(5);
+        let mut set = Vec::new();
+        let mut cancelled = Vec::new();
+        for a in &actions {
+            match a {
+                NodeAction::SetTimer { at, timer_id, tag } => set.push((*at, *timer_id, *tag)),
+                NodeAction::CancelTimer { timer_id } => cancelled.push(*timer_id),
+                _ => panic!("unexpected action {a:?}"),
+            }
+        }
+        assert_eq!(set, vec![(15, 0, 1), (25, 1, 2)]);
+        assert_eq!(cancelled, vec![1]);
+    }
+}

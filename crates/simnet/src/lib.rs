@@ -56,6 +56,7 @@
 //! ```
 
 pub mod context;
+pub mod driver;
 pub mod event;
 pub mod link;
 pub mod message;
@@ -64,6 +65,7 @@ pub mod observation;
 pub mod runner;
 
 pub use context::{NodeCtx, TimerHandle, TimerTag};
+pub use driver::{node_rng_seed, NodeAction, NodeDriver};
 pub use event::{Event, EventKind};
 pub use link::{OutboundLink, Priority};
 pub use message::SimMessage;

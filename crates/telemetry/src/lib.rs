@@ -37,6 +37,11 @@ struct Inner {
     registry: Mutex<MetricsRegistry>,
     tracer: Mutex<Tracer>,
     epoch: Instant,
+    /// Wall-clock-only mode: there is no simulated clock (the sink
+    /// belongs to a real-socket run), so spans stamp their "sim"
+    /// timestamp from the wall-clock epoch instead of trusting the
+    /// caller-supplied `sim_now` (which is 0 for plain [`Telemetry::span`]).
+    wall_only: bool,
 }
 
 /// A cloneable handle to one telemetry sink (or to nothing, when
@@ -83,15 +88,32 @@ impl Telemetry {
 
     /// A live handle retaining up to `capacity` completed spans.
     pub fn with_trace_capacity(capacity: usize) -> Self {
+        Telemetry::build(capacity, false)
+    }
+
+    /// A live handle for runs with no simulated clock (the real-socket
+    /// runtime): spans stamp wall-clock-since-epoch microseconds as
+    /// their timeline timestamp, so `span()` needs no `sim_now`.
+    pub fn wall_clock() -> Self {
+        Telemetry::build(DEFAULT_TRACE_CAPACITY, true)
+    }
+
+    fn build(capacity: usize, wall_only: bool) -> Self {
         Telemetry {
             inner: Some(Arc::new(Inner {
                 registry: Mutex::new(MetricsRegistry::new()),
                 tracer: Mutex::new(Tracer::new(capacity)),
                 epoch: Instant::now(),
+                wall_only,
             })),
             prefix: String::new(),
             track: 0,
         }
+    }
+
+    /// Whether this handle is in wall-clock-only mode.
+    pub fn is_wall_clock(&self) -> bool {
+        self.inner.as_ref().is_some_and(|i| i.wall_only)
     }
 
     /// Whether this handle records anything.
@@ -184,11 +206,16 @@ impl Telemetry {
             return Span { inner: None };
         };
         let wall_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let ts = if inner.wall_only {
+            wall_ns / 1_000
+        } else {
+            sim_now
+        };
         inner
             .tracer
             .lock()
             .unwrap()
-            .begin(name.into(), self.track, sim_now, wall_ns);
+            .begin(name.into(), self.track, ts, wall_ns);
         Span {
             inner: Some(Arc::clone(inner)),
         }
@@ -319,6 +346,30 @@ mod tests {
         assert!(
             profile["replica.on_message"].total_wall_ns >= profile["replica.verify"].total_wall_ns
         );
+    }
+
+    #[test]
+    fn wall_clock_mode_stamps_spans_from_the_epoch() {
+        let t = Telemetry::wall_clock();
+        assert!(t.is_wall_clock());
+        assert!(!Telemetry::new().is_wall_clock());
+        assert!(!Telemetry::disabled().is_wall_clock());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _span = t.span("net.tick");
+        }
+        let doc = t.trace_json();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let ts = events[0]
+            .get("args")
+            .unwrap()
+            .get("sim_ts_us")
+            .unwrap()
+            .as_f64()
+            .unwrap();
+        assert!(ts >= 2_000.0, "span not stamped from wall epoch: {ts}");
+        // Prefixed/tracked clones keep the mode.
+        assert!(t.with_prefix("replica.0").with_track(1).is_wall_clock());
     }
 
     #[test]

@@ -1,16 +1,17 @@
 //! Minimal stand-in for `proptest`.
 //!
 //! Supports the subset of the API this workspace's property tests use:
-//! the [`proptest!`] macro, [`Strategy`] with `prop_map`, `any::<T>()`,
-//! integer-range strategies, tuple strategies, and
-//! [`collection::vec`]. Cases are generated from fixed seeds, so every
-//! run explores the same inputs (no shrinking — a failing case prints its
-//! seed index and values via the assertion message instead).
+//! the [`proptest!`] macro, [`Strategy`] with `prop_map` and `boxed`,
+//! `any::<T>()`, integer-range strategies, tuple strategies, [`Just`],
+//! [`prop_oneof!`] unions, [`option::of`], and [`collection::vec`].
+//! Cases are generated from fixed seeds, so every run explores the same
+//! inputs (no shrinking — a failing case prints its seed index and
+//! values via the assertion message instead).
 
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use std::marker::PhantomData;
-use std::ops::Range;
+use std::ops::{Range, RangeInclusive};
 
 /// Number of cases generated per property.
 pub const CASES: u64 = 96;
@@ -29,6 +30,113 @@ pub trait Strategy {
         Self: Sized,
     {
         Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`] to mix arms of
+    /// different concrete types).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy (see [`Strategy::boxed`]).
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut SmallRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Weighted union over type-erased arms, built by [`prop_oneof!`].
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms.
+    pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+        assert!(
+            arms.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Union { arms }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut SmallRng) -> T {
+        let total: u64 = self.arms.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.gen_range(0..total);
+        for (w, s) in &self.arms {
+            if pick < *w as u64 {
+                return s.generate(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("pick is bounded by the weight sum")
+    }
+}
+
+/// Chooses between strategies, mirroring `proptest::prop_oneof!`. Arms
+/// are either bare strategies (equal weight) or `weight => strategy`.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((($weight) as u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $((1u32, $crate::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// `Option` strategies, mirroring `proptest::option`.
+pub mod option {
+    use super::Strategy;
+    use rand::rngs::SmallRng;
+    use rand::Rng;
+
+    /// Strategy produced by [`of`].
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// Yields `None` roughly a quarter of the time, `Some(inner)`
+    /// otherwise.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Option<S::Value> {
+            if rng.gen_range(0..4u32) == 0 {
+                None
+            } else {
+                Some(self.inner.generate(rng))
+            }
+        }
     }
 }
 
@@ -75,6 +183,19 @@ macro_rules! impl_range_strategy {
 }
 
 impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64);
+
+macro_rules! impl_range_inclusive_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut SmallRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_inclusive_strategy!(u8, u16, u32, u64, usize);
 
 macro_rules! impl_tuple_strategy {
     ($($name:ident),+) => {
@@ -132,8 +253,10 @@ pub mod collection {
 pub mod prelude {
     pub use crate::collection;
     pub use crate::ProptestConfig;
-    pub use crate::{any, Strategy};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{any, BoxedStrategy, Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Per-block configuration, mirroring `proptest::test_runner::Config`.
@@ -307,6 +430,36 @@ mod tests {
             prop_assume!(a != b);
             prop_assert_ne!(a, b);
             prop_assert_eq!(a, a);
+        }
+
+        #[test]
+        fn just_yields_its_value(x in Just(41u8).prop_map(|v| v + 1)) {
+            prop_assert_eq!(x, 42);
+        }
+
+        #[test]
+        fn oneof_draws_from_every_arm(x in prop_oneof![Just(1u8), Just(2), 0u8..1]) {
+            prop_assert!(x <= 2);
+        }
+
+        #[test]
+        fn weighted_oneof_respects_zero_weight(
+            x in prop_oneof![3 => Just(7u8), 0 => Just(9)],
+        ) {
+            prop_assert_eq!(x, 7);
+        }
+
+        #[test]
+        fn inclusive_ranges_respected(x in 250u8..=255) {
+            prop_assert!(x >= 250);
+        }
+
+        #[test]
+        fn option_of_yields_both_variants(
+            v in collection::vec(crate::option::of(any::<u8>()), 64..65),
+        ) {
+            prop_assert!(v.iter().any(|x| x.is_none()));
+            prop_assert!(v.iter().any(|x| x.is_some()));
         }
     }
 }

@@ -79,6 +79,11 @@ impl Standard for f32 {
         (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
     }
 }
+impl<T: Standard, const N: usize> Standard for [T; N] {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        std::array::from_fn(|_| T::sample_standard(rng))
+    }
+}
 
 /// Ranges samplable via `Rng::gen_range`.
 pub trait SampleRange<T> {
