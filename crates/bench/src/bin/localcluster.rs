@@ -14,24 +14,40 @@
 //!              [--bench-out <path>] [--trace-out <dir>]
 //! ```
 //!
+//! With `--trace-out <dir>` the run becomes fully observed: each child
+//! serves an admin endpoint the parent polls mid-run (`HEALTH`,
+//! `METRICS`, and `SERIES` must all answer), runs a flight-recorder
+//! sampler, and writes its per-replica trace / flight-recorder series /
+//! metrics snapshot into `<dir>`.  After the run the parent merges them
+//! into two cluster-wide artifacts: `cluster_trace.json` (one
+//! chrome://tracing timeline, one track per replica, wall-clocks aligned
+//! by epoch offsets) and `cluster_flightrec.json` (per-replica window
+//! series plus a cluster metrics rollup).
+//!
 //! Child mode (`--replica <i> --addrs a,b,...`) is internal: it calls
 //! [`smp_replica::run_replica_over_net`] and reports on stdout with
-//! `commit <64-hex-txid>` / `stat <key> <value>` / `peer_error <msg>`
-//! lines.
+//! `commit <64-hex-txid>` / `stat <key> <value>` / `peer_error <msg>` /
+//! `frame_error <msg>` lines.
 //!
 //! Exit codes: 0 success, 1 divergence (replicas disagree, sim mismatch,
-//! or peer errors), 2 usage/spawn failures.
+//! peer/frame errors, or an unresponsive admin endpoint), 2 usage/spawn
+//! failures.
 
 use smp_bench::{arg_value, BenchRecorder, Scale};
 use smp_crypto::Digest;
+use smp_metrics::JsonValue;
 use smp_replica::{
     run_replica_over_net, sim_commit_logs, ExperimentConfig, NetRunOptions, NetRunSummary, Protocol,
 };
+use smp_telemetry::{merge_chrome_traces, merge_cluster_series, rollup_snapshots, MetricsSnapshot};
 use smp_types::{ReplicaId, TxId};
 use smp_workload::LoadDistribution;
-use std::io::Read;
-use std::net::{SocketAddr, TcpListener};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
+use std::thread;
+use std::time::{Duration, Instant};
 
 fn parse_protocol(s: &str) -> Option<Protocol> {
     Protocol::all()
@@ -167,10 +183,21 @@ fn run_child(me: usize, args: &ClusterArgs) -> ! {
         })
         .collect();
     let trace_out = arg_value("--trace-out");
+    let admin_addr: Option<SocketAddr> = arg_value("--admin-addr").map(|a| {
+        a.parse().unwrap_or_else(|_| {
+            eprintln!("localcluster: bad --admin-addr '{a}'");
+            std::process::exit(2);
+        })
+    });
+    let observed = trace_out.is_some() || admin_addr.is_some();
     let opts = NetRunOptions {
         tx_limit: Some(args.tx_limit),
         horizon_us: args.horizon_us,
         telemetry: trace_out.is_some(),
+        admin_addr,
+        // Sample often enough that even a short CI run records several
+        // windows per replica.
+        flight_cadence_us: observed.then_some(250_000),
     };
     let summary = run_replica_over_net(&args.config(), ReplicaId(me as u32), addrs, &opts)
         .unwrap_or_else(|e| {
@@ -178,14 +205,15 @@ fn run_child(me: usize, args: &ClusterArgs) -> ! {
             std::process::exit(2);
         });
     report_child(me, &summary, trace_out.as_deref());
-    std::process::exit(if summary.peer_errors.is_empty() { 0 } else { 1 });
+    let clean = summary.peer_errors.is_empty() && summary.frame_errors.is_empty();
+    std::process::exit(if clean { 0 } else { 1 });
 }
 
 fn report_child(me: usize, summary: &NetRunSummary, trace_out: Option<&str>) {
     for id in &summary.commit_log {
         println!("commit {}", txid_hex(id));
     }
-    let stats: [(&str, u64); 8] = [
+    let stats: [(&str, u64); 9] = [
         ("committed_txs", summary.committed_txs),
         ("client_txs", summary.client_txs),
         ("view_changes", summary.view_changes),
@@ -194,6 +222,7 @@ fn report_child(me: usize, summary: &NetRunSummary, trace_out: Option<&str>) {
         ("bytes_in", summary.bytes_in),
         ("bytes_out", summary.bytes_out),
         ("wall_us", summary.wall_us),
+        ("epoch_unix_us", summary.epoch_unix_us.unwrap_or(0)),
     ];
     for (key, value) in stats {
         println!("stat {key} {value}");
@@ -201,11 +230,27 @@ fn report_child(me: usize, summary: &NetRunSummary, trace_out: Option<&str>) {
     for e in &summary.peer_errors {
         println!("peer_error {e}");
     }
+    for e in &summary.frame_errors {
+        println!("frame_error {e}");
+    }
     if let Some(dir) = trace_out {
-        let path = std::path::Path::new(dir).join(format!("trace_replica_{me}.json"));
         let _ = std::fs::create_dir_all(dir);
-        if let Err(e) = std::fs::write(&path, summary.telemetry.trace_json().to_pretty()) {
-            eprintln!("localcluster: cannot write {}: {e}", path.display());
+        let write = |name: String, doc: &JsonValue| {
+            let path = Path::new(dir).join(name);
+            if let Err(e) = std::fs::write(&path, doc.to_pretty()) {
+                eprintln!("localcluster: cannot write {}: {e}", path.display());
+            }
+        };
+        write(
+            format!("trace_replica_{me}.json"),
+            &summary.telemetry.trace_json(),
+        );
+        write(
+            format!("metrics_replica_{me}.json"),
+            &summary.telemetry.registry_json(),
+        );
+        if let Some(series) = &summary.flight_series {
+            write(format!("flightrec_replica_{me}.json"), series);
         }
     }
 }
@@ -217,6 +262,7 @@ struct ChildReport {
     commits: Vec<TxId>,
     stats: std::collections::BTreeMap<String, u64>,
     peer_errors: Vec<String>,
+    frame_errors: Vec<String>,
 }
 
 fn parse_child_output(text: &str) -> ChildReport {
@@ -234,9 +280,150 @@ fn parse_child_output(text: &str) -> ChildReport {
             }
         } else if let Some(e) = line.strip_prefix("peer_error ") {
             r.peer_errors.push(e.to_string());
+        } else if let Some(e) = line.strip_prefix("frame_error ") {
+            r.frame_errors.push(e.to_string());
         }
     }
     r
+}
+
+/// Pinpoints where two commit sequences diverge: the first differing
+/// index plus a short-hex excerpt of the surrounding entries on each
+/// side, so a divergence report identifies the exact commits at fault
+/// rather than just the lengths.
+fn divergence_excerpt(reference: &[TxId], other: &[TxId]) -> String {
+    let common = reference.len().min(other.len());
+    let idx = (0..common)
+        .find(|&k| reference[k] != other[k])
+        .unwrap_or(common);
+    let short = |id: &TxId| txid_hex(id)[..8].to_string();
+    let excerpt = |log: &[TxId]| -> String {
+        let lo = idx.saturating_sub(1);
+        let hi = (idx + 2).min(log.len());
+        if lo >= hi {
+            return "(end of log)".into();
+        }
+        log[lo..hi]
+            .iter()
+            .enumerate()
+            .map(|(off, id)| format!("[{}]={}", lo + off, short(id)))
+            .collect::<Vec<_>>()
+            .join(" ")
+    };
+    format!(
+        "first divergence at index {idx}: reference {} | diverged {}",
+        excerpt(reference),
+        excerpt(other)
+    )
+}
+
+/// One line-oriented admin request/reply against a child's endpoint.
+fn admin_ask(addr: SocketAddr, cmd: &str) -> io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(2)))?;
+    let mut writer = stream.try_clone()?;
+    writer.write_all(format!("{cmd}\n").as_bytes())?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    if reply.is_empty() {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "empty admin reply",
+        ));
+    }
+    Ok(reply.trim_end().to_string())
+}
+
+/// Polls every child's admin endpoint mid-run: `HEALTH`, `METRICS`, and
+/// `SERIES` must all answer before the run's horizon elapses.  Returns
+/// one error line per replica that failed.
+fn poll_admin_endpoints(admin_addrs: Vec<SocketAddr>, horizon_us: u64) -> Vec<String> {
+    let start = Instant::now();
+    // Let the cluster form and commit some work first, but stay well
+    // inside the horizon so this is genuinely a *mid-run* observation.
+    thread::sleep(Duration::from_micros(horizon_us / 3));
+    let deadline = start + Duration::from_micros(horizon_us.saturating_sub(horizon_us / 5));
+    let mut failures = Vec::new();
+    for (i, addr) in admin_addrs.into_iter().enumerate() {
+        let verdict = loop {
+            match check_admin(addr, i) {
+                Ok(detail) => break Ok(detail),
+                Err(e) => {
+                    if Instant::now() >= deadline {
+                        break Err(e);
+                    }
+                    thread::sleep(Duration::from_millis(100));
+                }
+            }
+        };
+        match verdict {
+            Ok(detail) => println!("localcluster: replica {i} admin ok mid-run ({detail})"),
+            Err(e) => failures.push(format!("replica {i} admin endpoint at {addr}: {e}")),
+        }
+    }
+    failures
+}
+
+fn check_admin(addr: SocketAddr, i: usize) -> Result<String, String> {
+    let health = admin_ask(addr, "HEALTH").map_err(|e| format!("HEALTH: {e}"))?;
+    if !health.starts_with(&format!("ok replica={i} ")) {
+        return Err(format!("HEALTH replied '{health}'"));
+    }
+    let metrics = admin_ask(addr, "METRICS").map_err(|e| format!("METRICS: {e}"))?;
+    if !metrics.starts_with('{') {
+        return Err(format!("METRICS not a JSON object: '{metrics}'"));
+    }
+    let series = admin_ask(addr, "SERIES").map_err(|e| format!("SERIES: {e}"))?;
+    if !series.contains("smp-flightrec-v1") {
+        return Err(format!("SERIES not schema-versioned: '{series}'"));
+    }
+    Ok(health)
+}
+
+/// Merges the per-replica artifacts the children wrote under `dir` into
+/// `cluster_trace.json` (one chrome://tracing timeline, one process
+/// track per replica, wall-clocks aligned via epoch offsets) and
+/// `cluster_flightrec.json` (per-replica window series + metrics
+/// rollup).
+fn merge_cluster_artifacts(dir: &str, n: usize, epochs: &[u64]) -> io::Result<(PathBuf, PathBuf)> {
+    let read_json = |name: String| -> io::Result<JsonValue> {
+        let path = Path::new(dir).join(&name);
+        let text = std::fs::read_to_string(&path)?;
+        JsonValue::parse(&text)
+            .map_err(|e| io::Error::other(format!("{}: bad JSON: {e:?}", path.display())))
+    };
+    let min_epoch = epochs.iter().copied().filter(|&e| e > 0).min().unwrap_or(0);
+    let mut trace_sources = Vec::new();
+    let mut series_sources = Vec::new();
+    let mut snapshots = Vec::new();
+    for i in 0..n {
+        let label = format!("replica.{i}");
+        let offset_us = epochs
+            .get(i)
+            .copied()
+            .unwrap_or(0)
+            .saturating_sub(min_epoch) as i64;
+        trace_sources.push((
+            label.clone(),
+            offset_us,
+            read_json(format!("trace_replica_{i}.json"))?,
+        ));
+        series_sources.push((
+            label.clone(),
+            read_json(format!("flightrec_replica_{i}.json"))?,
+        ));
+        let metrics = read_json(format!("metrics_replica_{i}.json"))?;
+        snapshots.push((label, MetricsSnapshot::from_json(&metrics)));
+    }
+    let trace_path = Path::new(dir).join("cluster_trace.json");
+    std::fs::write(&trace_path, merge_chrome_traces(&trace_sources).to_pretty())?;
+    let rollup = rollup_snapshots(&snapshots).to_json();
+    let flight_path = Path::new(dir).join("cluster_flightrec.json");
+    std::fs::write(
+        &flight_path,
+        merge_cluster_series(&series_sources, Some(rollup)).to_pretty(),
+    )?;
+    Ok((trace_path, flight_path))
 }
 
 fn free_addrs(n: usize) -> Vec<SocketAddr> {
@@ -279,12 +466,25 @@ fn main() {
         .map(|a| a.to_string())
         .collect::<Vec<_>>()
         .join(",");
+    // With --trace-out, the run is observed: every child gets an admin
+    // endpoint (the parent reserves the ports so it knows where to
+    // poll — children only report stdout after they exit).
+    let trace_dir = arg_value("--trace-out");
+    let admin_addrs = if trace_dir.is_some() {
+        free_addrs(args.n)
+    } else {
+        Vec::new()
+    };
     let exe = std::env::current_exe().expect("current exe");
     let mut children = Vec::new();
     for i in 0..args.n {
-        let child = Command::new(&exe)
-            .args(["--replica", &i.to_string(), "--addrs", &addr_list])
-            .args(args.forward())
+        let mut cmd = Command::new(&exe);
+        cmd.args(["--replica", &i.to_string(), "--addrs", &addr_list])
+            .args(args.forward());
+        if let Some(admin) = admin_addrs.get(i) {
+            cmd.args(["--admin-addr", &admin.to_string()]);
+        }
+        let child = cmd
             .stdout(Stdio::piped())
             .stderr(Stdio::inherit())
             .spawn()
@@ -294,6 +494,14 @@ fn main() {
             });
         children.push(child);
     }
+
+    // Live observation: while children run, poll each admin endpoint
+    // once mid-run (HEALTH + METRICS + SERIES must answer).
+    let poller = (!admin_addrs.is_empty()).then(|| {
+        let admin_addrs = admin_addrs.clone();
+        let horizon_us = args.horizon_us;
+        thread::spawn(move || poll_admin_endpoints(admin_addrs, horizon_us))
+    });
 
     let mut reports = Vec::new();
     let mut failed = false;
@@ -313,9 +521,20 @@ fn main() {
         reports.push(parse_child_output(&text));
     }
 
+    if let Some(poller) = poller {
+        for e in poller.join().expect("admin poller thread") {
+            eprintln!("localcluster: mid-run admin poll failed: {e}");
+            failed = true;
+        }
+    }
+
     for (i, r) in reports.iter().enumerate() {
         for e in &r.peer_errors {
             eprintln!("localcluster: replica {i} peer error: {e}");
+            failed = true;
+        }
+        for e in &r.frame_errors {
+            eprintln!("localcluster: replica {i} frame error: {e}");
             failed = true;
         }
         println!(
@@ -343,9 +562,10 @@ fn main() {
         if r.commits != reports[0].commits {
             eprintln!(
                 "localcluster: replica {i} commit sequence diverges from replica 0 \
-                 ({} vs {} txs)",
+                 ({} vs {} txs); {}",
                 r.commits.len(),
-                reports[0].commits.len()
+                reports[0].commits.len(),
+                divergence_excerpt(&reports[0].commits, &r.commits)
             );
             agree = false;
         }
@@ -371,11 +591,32 @@ fn main() {
         } else {
             eprintln!(
                 "localcluster: socket commit sequence diverges from the simulator \
-                 ({} vs {} txs)",
+                 ({} vs {} txs); {}",
                 reports[0].commits.len(),
-                sim[0].len()
+                sim[0].len(),
+                divergence_excerpt(&sim[0], &reports[0].commits)
             );
             sim_ok = false;
+        }
+    }
+
+    // Cross-process aggregation: merge the children's artifacts into
+    // one cluster timeline and one cluster flight-recorder document.
+    if let Some(dir) = &trace_dir {
+        let epochs: Vec<u64> = reports
+            .iter()
+            .map(|r| r.stats.get("epoch_unix_us").copied().unwrap_or(0))
+            .collect();
+        match merge_cluster_artifacts(dir, args.n, &epochs) {
+            Ok((trace_path, flight_path)) => println!(
+                "localcluster: merged cluster artifacts: {} {}",
+                trace_path.display(),
+                flight_path.display()
+            ),
+            Err(e) => {
+                eprintln!("localcluster: cannot merge cluster artifacts: {e}");
+                failed = true;
+            }
         }
     }
 

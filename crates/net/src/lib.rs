@@ -19,27 +19,62 @@
 //!   the bulk lane (microblocks, fetch responses),
 //! * **length-prefixed frames** — byte encoding is supplied by the
 //!   embedding crate through [`WireMsg`] (for replicas, the
-//!   `smp-replica::wire::codec` module), and malformed frames kill the
-//!   connection rather than the process.
+//!   `smp-replica::wire::codec` module).  A frame whose *header* is
+//!   malformed kills the connection (the stream cannot be resynced); a
+//!   frame whose *body* fails to decode is counted by taxonomy and
+//!   skipped — the length prefix keeps the stream aligned, so one
+//!   garbage body never takes down an otherwise healthy connection.
+//!
+//! The runtime is instrumented throughout ([`stats::NetStats`]:
+//! per-peer/per-lane counters, queue depths, handshake outcomes, decode
+//! errors by taxonomy — all lock-free atomics) and each process can
+//! expose a line-oriented admin socket ([`admin`]) answering `HEALTH`,
+//! `METRICS`, `SERIES`, and `TRACE` for live introspection.
 
+pub mod admin;
 pub mod runtime;
+pub mod stats;
 
 use std::fmt;
 
+pub use admin::{spawn_admin, AdminHandle, AdminState};
 pub use runtime::{ClusterSpec, NetReport, NetRuntime};
+pub use stats::{NetStats, PeerStats, DECODE_TAXONOMY, STALL_QUEUE_DEPTH};
 
 /// Error raised while framing or deframing a message.
 ///
-/// Deliberately a plain string wrapper: the concrete codec (and its
-/// richer error enum) lives in the crate that owns the message type;
-/// the runtime only needs to know *that* a frame is bad, log it, and
-/// drop the connection.
+/// Deliberately *not* the codec's rich error enum: the concrete codec
+/// lives in the crate that owns the message type; the runtime only needs
+/// to know that a frame is bad, which taxonomy bucket the failure falls
+/// into (so telemetry can count it — see [`DECODE_TAXONOMY`]), and the
+/// human-readable detail.
 #[derive(Clone, Debug, PartialEq, Eq)]
-pub struct WireError(pub String);
+pub struct WireError {
+    /// Taxonomy label, ideally one of [`DECODE_TAXONOMY`] (anything else
+    /// counts under `"other"`).
+    pub kind: &'static str,
+    /// Human-readable detail.
+    pub message: String,
+}
+
+impl WireError {
+    /// An error in the given taxonomy bucket.
+    pub fn new(kind: &'static str, message: impl Into<String>) -> Self {
+        WireError {
+            kind,
+            message: message.into(),
+        }
+    }
+
+    /// An error with no specific taxonomy.
+    pub fn other(message: impl Into<String>) -> Self {
+        WireError::new("other", message)
+    }
+}
 
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "wire error: {}", self.0)
+        write!(f, "wire error [{}]: {}", self.kind, self.message)
     }
 }
 
@@ -50,8 +85,10 @@ impl std::error::Error for WireError {}
 /// Frames are `HEADER_BYTES` of fixed-size header followed by a body
 /// whose length the header states.  The runtime reads exactly the
 /// header, asks [`WireMsg::body_len`] how much more to read, then hands
-/// header + body to [`WireMsg::decode`].  Any error is terminal for the
-/// connection (strict rejection — no resync scanning).
+/// header + body to [`WireMsg::decode`].  A [`WireMsg::body_len`] error
+/// is terminal for the connection (the stream cannot be resynced); a
+/// [`WireMsg::decode`] error is counted and the frame skipped — the
+/// length prefix keeps the stream aligned.
 pub trait WireMsg: simnet::SimMessage + Send + Sized + 'static {
     /// Fixed frame-header size in bytes.
     const HEADER_BYTES: usize;

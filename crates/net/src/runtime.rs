@@ -1,6 +1,7 @@
 //! The socket runtime: peer connections, two-lane writers, wall-clock
 //! timers, and the main event loop driving one [`Node`].
 
+use crate::stats::NetStats;
 use crate::{WireError, WireMsg};
 use simnet::{Node, NodeAction, NodeDriver, ObservationLog, Telemetry};
 use smp_types::{ReplicaId, SimTime};
@@ -72,6 +73,9 @@ pub struct NetReport<N> {
     pub wall_us: u64,
     /// Per-peer connection/codec failures observed during the run.
     pub peer_errors: Vec<String>,
+    /// Recoverable frame-body decode failures (the connection survived;
+    /// the frame was counted by taxonomy and skipped).
+    pub frame_errors: Vec<String>,
 }
 
 /// Two outbound lanes per peer: consensus-priority drains before bulk.
@@ -148,6 +152,11 @@ enum Ev<M> {
         from: ReplicaId,
         error: Option<WireError>,
     },
+    /// A frame body failed to decode but the stream stayed aligned.
+    FrameError {
+        from: ReplicaId,
+        error: WireError,
+    },
 }
 
 /// Drives one [`Node`] over real TCP connections and wall-clock timers.
@@ -157,6 +166,8 @@ where
 {
     driver: NodeDriver<N>,
     spec: ClusterSpec,
+    telemetry: Telemetry,
+    stats: Arc<NetStats>,
 }
 
 impl<N: Node> NetRuntime<N>
@@ -173,8 +184,20 @@ where
             "me={} out of range for {n} addresses",
             spec.me.0
         );
-        let driver = NodeDriver::new(node, spec.me, n, spec.seed, telemetry);
-        NetRuntime { driver, spec }
+        let driver = NodeDriver::new(node, spec.me, n, spec.seed, telemetry.clone());
+        NetRuntime {
+            driver,
+            spec,
+            telemetry,
+            stats: Arc::new(NetStats::new(n)),
+        }
+    }
+
+    /// The runtime's lock-free counters.  Grab a handle before
+    /// [`run`](NetRuntime::run) to publish or poll them concurrently
+    /// (flight-recorder sampler, admin endpoint).
+    pub fn stats(&self) -> Arc<NetStats> {
+        Arc::clone(&self.stats)
     }
 
     /// Forms the cluster, runs the node for `horizon_us` wall-clock
@@ -199,9 +222,10 @@ where
             let tx = tx.clone();
             let stop = Arc::clone(&stop);
             let readers = Arc::clone(&readers);
+            let stats = Arc::clone(&self.stats);
             let deadline = Instant::now() + self.spec.connect_timeout;
             thread::spawn(move || {
-                accept_loop::<N::Msg>(listener, peers, tx, stop, readers, deadline)
+                accept_loop::<N::Msg>(listener, n, tx, stop, readers, deadline, stats)
             })
         };
 
@@ -223,12 +247,16 @@ where
             let peer_tx = Arc::new(PeerTx::new());
             *slot = Some(Arc::clone(&peer_tx));
             writer_streams.push(stream.try_clone()?);
-            writer_handles.push(thread::spawn(move || writer_loop(stream, peer_tx)));
+            let stats = Arc::clone(&self.stats);
+            writer_handles.push(thread::spawn(move || {
+                writer_loop(stream, peer_tx, stats, i)
+            }));
         }
 
         // Barrier: wait for all inbound hellos; buffer any early frames.
         let mut pending: VecDeque<(ReplicaId, N::Msg, usize)> = VecDeque::new();
         let mut peer_errors = Vec::new();
+        let mut frame_errors = Vec::new();
         let mut up: HashSet<ReplicaId> = HashSet::new();
         let formation_deadline = Instant::now() + self.spec.connect_timeout;
         while up.len() < peers {
@@ -242,15 +270,22 @@ where
             }
             match rx.recv_timeout(left) {
                 Ok(Ev::PeerUp(from)) => {
+                    self.telemetry.instant(format!("net.peer.{}.up", from.0));
                     up.insert(from);
                 }
                 Ok(Ev::Msg { from, msg, bytes }) => pending.push_back((from, msg, bytes)),
                 Ok(Ev::PeerGone { from, error }) => {
                     // A clean EOF is a peer shutting down; only codec
                     // failures are errors.
+                    self.telemetry.instant(format!("net.peer.{}.down", from.0));
                     if let Some(e) = error {
                         peer_errors.push(format!("peer {}: {e}", from.0));
                     }
+                }
+                Ok(Ev::FrameError { from, error }) => {
+                    self.telemetry
+                        .instant(format!("net.peer.{}.frame_error", from.0));
+                    frame_errors.push(format!("peer {}: {error}", from.0));
                 }
                 Err(RecvTimeoutError::Timeout) => continue,
                 Err(RecvTimeoutError::Disconnected) => unreachable!("main keeps a sender"),
@@ -265,6 +300,7 @@ where
             loopback: VecDeque::new(),
             observations: ObservationLog::new(),
             peer_txs,
+            stats: Arc::clone(&self.stats),
             frames_in: 0,
             frames_out: 0,
             bytes_in: 0,
@@ -329,9 +365,15 @@ where
                 Ok(Ev::PeerGone { from, error }) => {
                     // A clean EOF is a peer shutting down; only codec
                     // failures are errors.
+                    self.telemetry.instant(format!("net.peer.{}.down", from.0));
                     if let Some(e) = error {
                         peer_errors.push(format!("peer {}: {e}", from.0));
                     }
+                }
+                Ok(Ev::FrameError { from, error }) => {
+                    self.telemetry
+                        .instant(format!("net.peer.{}.frame_error", from.0));
+                    frame_errors.push(format!("peer {}: {error}", from.0));
                 }
                 Ok(Ev::PeerUp(_)) => {}
                 Err(RecvTimeoutError::Timeout) => {}
@@ -359,6 +401,11 @@ where
         }
         drop(tx);
 
+        // Final mirror of the lock-free counters into the registry, so
+        // the post-run snapshot carries complete `net.*` totals even
+        // when no sampler was attached.
+        self.stats.publish(&self.telemetry);
+
         Ok(NetReport {
             node: self.driver.into_node(),
             observations: st.observations,
@@ -368,6 +415,7 @@ where
             bytes_out: st.bytes_out,
             wall_us: now_us(epoch),
             peer_errors,
+            frame_errors,
         })
     }
 }
@@ -380,6 +428,7 @@ struct RunState<M> {
     loopback: VecDeque<(ReplicaId, M)>,
     observations: ObservationLog,
     peer_txs: Vec<Option<Arc<PeerTx>>>,
+    stats: Arc<NetStats>,
     frames_in: u64,
     frames_out: u64,
     bytes_in: u64,
@@ -402,6 +451,7 @@ impl<M: WireMsg> RunState<M> {
                             let frame = msg.encode();
                             self.frames_out += 1;
                             self.bytes_out += frame.len() as u64;
+                            self.stats.record_out(to.index(), priority, frame.len());
                             peer_tx.enqueue(frame, priority);
                         }
                     }
@@ -446,12 +496,14 @@ fn dial(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
 
 fn accept_loop<M: WireMsg>(
     listener: TcpListener,
-    expected: usize,
+    n: usize,
     tx: Sender<Ev<M>>,
     stop: Arc<AtomicBool>,
     readers: ReaderRegistry,
     deadline: Instant,
+    stats: Arc<NetStats>,
 ) {
+    let expected = n - 1;
     let mut accepted = 0usize;
     while accepted < expected && !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
         match listener.accept() {
@@ -459,16 +511,23 @@ fn accept_loop<M: WireMsg>(
                 stream.set_nonblocking(false).ok();
                 stream.set_nodelay(true).ok();
                 let Some(from) = read_hello(&stream) else {
+                    stats.record_handshake_failure();
                     continue;
                 };
+                if from.index() >= n {
+                    stats.record_handshake_failure();
+                    continue;
+                }
                 accepted += 1;
+                stats.record_connect(from.index());
                 let clone = match stream.try_clone() {
                     Ok(c) => c,
                     Err(_) => continue,
                 };
                 let tx2 = tx.clone();
+                let stats2 = Arc::clone(&stats);
                 tx.send(Ev::PeerUp(from)).ok();
-                let handle = thread::spawn(move || reader_loop(stream, from, tx2));
+                let handle = thread::spawn(move || reader_loop(stream, from, tx2, stats2));
                 readers
                     .lock()
                     .expect("reader registry poisoned")
@@ -493,16 +552,25 @@ fn read_hello(mut stream: &TcpStream) -> Option<ReplicaId> {
     ])))
 }
 
-fn reader_loop<M: WireMsg>(mut stream: TcpStream, from: ReplicaId, tx: Sender<Ev<M>>) {
+fn reader_loop<M: WireMsg>(
+    mut stream: TcpStream,
+    from: ReplicaId,
+    tx: Sender<Ev<M>>,
+    stats: Arc<NetStats>,
+) {
     let mut header = vec![0u8; M::HEADER_BYTES];
     loop {
         if stream.read_exact(&mut header).is_err() {
+            stats.record_disconnect(from.index());
             tx.send(Ev::PeerGone { from, error: None }).ok();
             return;
         }
         let body_len = match M::body_len(&header) {
             Ok(len) => len,
             Err(e) => {
+                // A bad header leaves the stream unframed: terminal.
+                stats.record_decode_error(e.kind);
+                stats.record_disconnect(from.index());
                 tx.send(Ev::PeerGone {
                     from,
                     error: Some(e),
@@ -513,30 +581,33 @@ fn reader_loop<M: WireMsg>(mut stream: TcpStream, from: ReplicaId, tx: Sender<Ev
         };
         let mut body = vec![0u8; body_len];
         if stream.read_exact(&mut body).is_err() {
+            stats.record_disconnect(from.index());
             tx.send(Ev::PeerGone { from, error: None }).ok();
             return;
         }
         match M::decode(&header, &body) {
             Ok(msg) => {
                 let bytes = M::HEADER_BYTES + body_len;
+                stats.record_in(from.index(), bytes);
                 if tx.send(Ev::Msg { from, msg, bytes }).is_err() {
                     return;
                 }
             }
             Err(e) => {
-                tx.send(Ev::PeerGone {
-                    from,
-                    error: Some(e),
-                })
-                .ok();
-                return;
+                // The length prefix kept the stream aligned: count the
+                // failure, skip the frame, keep the connection.
+                stats.record_decode_error(e.kind);
+                if tx.send(Ev::FrameError { from, error: e }).is_err() {
+                    return;
+                }
             }
         }
     }
 }
 
-fn writer_loop(mut stream: TcpStream, peer_tx: Arc<PeerTx>) {
+fn writer_loop(mut stream: TcpStream, peer_tx: Arc<PeerTx>, stats: Arc<NetStats>, peer: usize) {
     while let Some(frame) = peer_tx.next() {
+        stats.record_drain(peer);
         if stream.write_all(&frame).is_err() {
             return;
         }

@@ -4,8 +4,10 @@
 use simnet::{Node, NodeCtx, ObsKind, SimMessage, Telemetry, TimerTag};
 use smp_net::{ClusterSpec, NetRuntime, WireError, WireMsg};
 use smp_types::ReplicaId;
-use std::net::{SocketAddr, TcpListener};
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread;
+use std::time::Duration;
 
 /// Toy wire message: `[magic, priority, u32 value]`, 6-byte header, no body.
 #[derive(Clone, Debug, PartialEq)]
@@ -37,7 +39,10 @@ impl WireMsg for Tok {
 
     fn body_len(header: &[u8]) -> Result<usize, WireError> {
         if header[0] != 0xA5 {
-            return Err(WireError(format!("bad magic 0x{:02x}", header[0])));
+            return Err(WireError::new(
+                "bad_magic",
+                format!("bad magic 0x{:02x}", header[0]),
+            ));
         }
         Ok(0)
     }
@@ -46,7 +51,7 @@ impl WireMsg for Tok {
         let priority = match header[1] {
             0 => false,
             1 => true,
-            b => return Err(WireError(format!("bad priority byte {b}"))),
+            b => return Err(WireError::new("bad_bool", format!("bad priority byte {b}"))),
         };
         Ok(Tok {
             value: u32::from_be_bytes([header[2], header[3], header[4], header[5]]),
@@ -191,4 +196,163 @@ fn wall_clock_timers_fire_and_cancel() {
         .expect("single-node run");
     assert_eq!(report.node.fired, vec![1, 2, 3, 4]);
     assert!(report.wall_us >= 200_000);
+}
+
+/// Records every value it receives; sends nothing.
+struct Collector {
+    seen: Vec<u32>,
+}
+
+impl Node for Collector {
+    type Msg = Tok;
+
+    fn on_start(&mut self, _ctx: &mut NodeCtx<'_, Tok>) {}
+
+    fn on_message(&mut self, _ctx: &mut NodeCtx<'_, Tok>, _from: ReplicaId, msg: Tok) {
+        self.seen.push(msg.value);
+    }
+
+    fn on_timer(&mut self, _ctx: &mut NodeCtx<'_, Tok>, _tag: TimerTag) {}
+}
+
+/// A garbage frame *body* must not take the connection down: the frame
+/// is counted by taxonomy and skipped, and later frames still arrive.
+/// The test impersonates replica 1 over a raw socket so it can write
+/// bytes no honest codec would produce.
+#[test]
+fn garbage_frame_body_is_counted_and_survived() {
+    let addrs = free_addrs(2);
+    // Stand in for replica 1: bind its listen address so replica 0's
+    // dial succeeds, and speak the hello protocol by hand.
+    let fake_peer = TcpListener::bind(addrs[1]).expect("bind fake peer");
+
+    let telemetry = Telemetry::wall_clock();
+    let spec = ClusterSpec::new(ReplicaId(0), addrs.clone(), 11);
+    let rt = NetRuntime::new(Collector { seen: Vec::new() }, spec, telemetry.clone());
+    let stats = rt.stats();
+    let runtime = thread::spawn(move || rt.run(600_000).expect("runtime run"));
+
+    // Accept replica 0's outbound dial and read its hello.
+    let (mut from_zero, _) = fake_peer.accept().expect("accept dial from replica 0");
+    let mut hello = [0u8; 8];
+    from_zero.read_exact(&mut hello).expect("read hello");
+    assert_eq!(&hello[..4], b"SMPH");
+    assert_eq!(
+        u32::from_be_bytes([hello[4], hello[5], hello[6], hello[7]]),
+        0
+    );
+
+    // Dial replica 0, introduce ourselves as replica 1, then send a
+    // valid frame, a frame with a valid header but garbage body
+    // (priority byte 7), and another valid frame.
+    let mut to_zero = TcpStream::connect(addrs[0]).expect("dial replica 0");
+    let mut hello = Vec::from(*b"SMPH");
+    hello.extend_from_slice(&1u32.to_be_bytes());
+    to_zero.write_all(&hello).expect("send hello");
+    to_zero
+        .write_all(
+            &Tok {
+                value: 10,
+                priority: false,
+            }
+            .encode(),
+        )
+        .expect("send first frame");
+    to_zero
+        .write_all(&[0xA5, 7, 0, 0, 0, 99])
+        .expect("send garbage frame");
+    to_zero
+        .write_all(
+            &Tok {
+                value: 11,
+                priority: true,
+            }
+            .encode(),
+        )
+        .expect("send second frame");
+    to_zero.flush().expect("flush frames");
+
+    let report = runtime.join().expect("runtime thread");
+
+    // The connection survived: both valid frames were delivered, in
+    // order, around the skipped garbage.
+    assert_eq!(report.node.seen, vec![10, 11]);
+    assert_eq!(report.frames_in, 2);
+    // The failure was counted by taxonomy and surfaced in the report…
+    assert_eq!(stats.decode_error_count("bad_bool"), 1);
+    assert_eq!(stats.decode_errors_total(), 1);
+    assert_eq!(report.frame_errors.len(), 1);
+    assert!(
+        report.frame_errors[0].contains("bad_bool"),
+        "frame error missing taxonomy: {}",
+        report.frame_errors[0]
+    );
+    // …but was not a peer error (those are terminal).
+    assert!(report.peer_errors.is_empty(), "{:?}", report.peer_errors);
+    // The shutdown publish mirrored the counter into telemetry.
+    assert_eq!(
+        telemetry.snapshot().counter("net.decode_error.bad_bool"),
+        Some(1)
+    );
+    drop(from_zero);
+}
+
+/// A garbage frame *header* is terminal: the stream cannot be resynced,
+/// so the connection drops and the failure lands in `peer_errors`.
+#[test]
+fn garbage_frame_header_kills_the_connection() {
+    let addrs = free_addrs(2);
+    let fake_peer = TcpListener::bind(addrs[1]).expect("bind fake peer");
+
+    let spec = ClusterSpec::new(ReplicaId(0), addrs.clone(), 13);
+    let rt = NetRuntime::new(Collector { seen: Vec::new() }, spec, Telemetry::disabled());
+    let stats = rt.stats();
+    let runtime = thread::spawn(move || rt.run(400_000).expect("runtime run"));
+
+    let (mut from_zero, _) = fake_peer.accept().expect("accept dial from replica 0");
+    let mut hello = [0u8; 8];
+    from_zero.read_exact(&mut hello).expect("read hello");
+
+    let mut to_zero = TcpStream::connect(addrs[0]).expect("dial replica 0");
+    let mut hello = Vec::from(*b"SMPH");
+    hello.extend_from_slice(&1u32.to_be_bytes());
+    to_zero.write_all(&hello).expect("send hello");
+    to_zero
+        .write_all(
+            &Tok {
+                value: 5,
+                priority: false,
+            }
+            .encode(),
+        )
+        .expect("send valid frame");
+    // Bad magic in the header position: terminal.
+    to_zero
+        .write_all(&[0xFF, 0, 0, 0, 0, 1])
+        .expect("send garbage header");
+    to_zero.flush().expect("flush");
+    // Give the reader a moment, then prove the runtime hung up on us.
+    to_zero
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .unwrap();
+    let mut probe = [0u8; 1];
+    assert_eq!(
+        to_zero.read(&mut probe).expect("peer closed the stream"),
+        0,
+        "runtime kept a connection with an unframed stream"
+    );
+
+    let report = runtime.join().expect("runtime thread");
+    assert_eq!(report.node.seen, vec![5]);
+    assert_eq!(stats.decode_error_count("bad_magic"), 1);
+    assert_eq!(report.peer_errors.len(), 1);
+    assert!(report.peer_errors[0].contains("bad_magic"));
+    assert!(report.frame_errors.is_empty());
+    let disconnects = stats
+        .peer(1)
+        .unwrap()
+        .disconnects
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert_eq!(disconnects, 1);
+    drop(from_zero);
 }

@@ -16,8 +16,9 @@ use crate::wire::{MempoolWire, ReplicaMsg};
 use simnet::{Node, Simulation, Telemetry};
 use smp_consensus::{ConsensusEngine, HotStuffEngine, MirBftEngine, PbftEngine, StreamletEngine};
 use smp_mempool::{GossipSmp, Mempool, NarwhalMempool, NativeMempool, SimpleSmp};
-use smp_net::{ClusterSpec, NetRuntime, WireError, WireMsg};
+use smp_net::{spawn_admin, AdminState, ClusterSpec, NetRuntime, WireError, WireMsg};
 use smp_shard::ShardedMempool;
+use smp_telemetry::{FlightSampler, DEFAULT_WINDOW_CAPACITY};
 use smp_types::{ExecutorKind, ReplicaId, SystemConfig, TxId};
 use std::io;
 use std::net::SocketAddr;
@@ -36,12 +37,14 @@ where
     fn body_len(header: &[u8]) -> Result<usize, WireError> {
         codec::decode_header(header)
             .map(|h| h.body_len)
-            .map_err(|e| WireError(e.to_string()))
+            .map_err(|e| WireError::new(e.taxonomy(), e.to_string()))
     }
 
     fn decode(header: &[u8], body: &[u8]) -> Result<Self, WireError> {
-        let h = codec::decode_header(header).map_err(|e| WireError(e.to_string()))?;
-        codec::decode_body(body, h.priority).map_err(|e| WireError(e.to_string()))
+        let h = codec::decode_header(header)
+            .map_err(|e| WireError::new(e.taxonomy(), e.to_string()))?;
+        codec::decode_body(body, h.priority)
+            .map_err(|e| WireError::new(e.taxonomy(), e.to_string()))
     }
 }
 
@@ -55,6 +58,26 @@ pub struct NetRunOptions {
     pub horizon_us: u64,
     /// Attach a live telemetry sink (wall-clock timestamps).
     pub telemetry: bool,
+    /// Serve a line-oriented admin endpoint (`HEALTH`/`METRICS`/`SERIES`/
+    /// `TRACE`) at this address for the duration of the run.  Implies a
+    /// live telemetry sink.
+    pub admin_addr: Option<SocketAddr>,
+    /// Run a background flight-recorder sampler on this wall-clock
+    /// cadence (µs), retaining recent metrics windows.  Implies a live
+    /// telemetry sink.
+    pub flight_cadence_us: Option<u64>,
+}
+
+impl Default for NetRunOptions {
+    fn default() -> Self {
+        NetRunOptions {
+            tx_limit: None,
+            horizon_us: 1_000_000,
+            telemetry: false,
+            admin_addr: None,
+            flight_cadence_us: None,
+        }
+    }
 }
 
 /// What one replica process measured during a socket-runtime run.
@@ -80,8 +103,15 @@ pub struct NetRunSummary {
     pub wall_us: u64,
     /// Connection/codec failures seen during the run.
     pub peer_errors: Vec<String>,
+    /// Recoverable frame-body decode failures (connection survived).
+    pub frame_errors: Vec<String>,
     /// The run's telemetry sink (disabled unless requested).
     pub telemetry: Telemetry,
+    /// The telemetry epoch as µs since the Unix epoch (None when the
+    /// sink is disabled) — the cross-process trace-alignment anchor.
+    pub epoch_unix_us: Option<u64>,
+    /// The flight recorder's exported series (None when no sampler ran).
+    pub flight_series: Option<smp_metrics::JsonValue>,
 }
 
 /// Visitor over the concrete (engine, mempool) types of a protocol.
@@ -198,8 +228,12 @@ impl ProtocolVisitor for NetVisitor<'_> {
         let sys = self.sys;
         // No simulated clock exists under the socket runtime, so the
         // sink runs in wall-clock-only mode: spans self-stamp from the
-        // process epoch.
-        let telemetry = if self.opts.telemetry {
+        // process epoch.  An admin endpoint or flight sampler needs a
+        // live sink to observe.
+        let want_telemetry = self.opts.telemetry
+            || self.opts.admin_addr.is_some()
+            || self.opts.flight_cadence_us.is_some();
+        let telemetry = if want_telemetry {
             Telemetry::wall_clock()
         } else {
             Telemetry::disabled()
@@ -226,7 +260,48 @@ impl ProtocolVisitor for NetVisitor<'_> {
             replica.limit_client_txs(limit);
         }
         let spec = ClusterSpec::new(self.me, self.addrs, config.seed);
-        let report = NetRuntime::new(replica, spec, node_telemetry).run(self.opts.horizon_us)?;
+        let runtime = NetRuntime::new(replica, spec, node_telemetry.clone());
+        let stats = runtime.stats();
+
+        // Observers: both publish the runtime's lock-free counters into
+        // the registry before reading it, and neither touches protocol
+        // state — instrumentation on/off leaves commit logs identical.
+        let sampler = self.opts.flight_cadence_us.map(|cadence_us| {
+            let stats = std::sync::Arc::clone(&stats);
+            let publish_to = node_telemetry.clone();
+            FlightSampler::spawn(
+                telemetry.clone(),
+                std::time::Duration::from_micros(cadence_us),
+                DEFAULT_WINDOW_CAPACITY,
+                Some(Box::new(move || stats.publish(&publish_to))),
+            )
+        });
+        let admin = match self.opts.admin_addr {
+            Some(addr) => {
+                let stats = std::sync::Arc::clone(&stats);
+                let publish_to = node_telemetry.clone();
+                Some(spawn_admin(
+                    addr,
+                    AdminState {
+                        replica: self.me.0,
+                        telemetry: telemetry.clone(),
+                        recorder: sampler.as_ref().map(FlightSampler::recorder),
+                        refresh: Some(std::sync::Arc::new(move || stats.publish(&publish_to))),
+                    },
+                )?)
+            }
+            None => None,
+        };
+
+        let report = runtime.run(self.opts.horizon_us)?;
+
+        let flight_series = sampler.map(|s| {
+            let recorder = s.stop();
+            let json = recorder.lock().expect("flight recorder poisoned").to_json();
+            json
+        });
+        drop(admin);
+
         let committed = report.observations.committed_txs(Some(self.me));
         let node = report.node;
         Ok(NetRunSummary {
@@ -240,6 +315,9 @@ impl ProtocolVisitor for NetVisitor<'_> {
             bytes_out: report.bytes_out,
             wall_us: report.wall_us,
             peer_errors: report.peer_errors,
+            frame_errors: report.frame_errors,
+            epoch_unix_us: telemetry.epoch_unix_us(),
+            flight_series,
             telemetry,
         })
     }

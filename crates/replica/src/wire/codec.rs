@@ -118,6 +118,25 @@ impl std::fmt::Display for DecodeError {
     }
 }
 
+impl DecodeError {
+    /// Stable taxonomy label for telemetry, matching
+    /// `smp_net::DECODE_TAXONOMY` so decode failures can be counted by
+    /// kind across processes.
+    pub fn taxonomy(&self) -> &'static str {
+        match self {
+            DecodeError::Truncated { .. } => "truncated",
+            DecodeError::BadMagic(_) => "bad_magic",
+            DecodeError::BadVersion(_) => "bad_version",
+            DecodeError::BadFlags(_) => "bad_flags",
+            DecodeError::OversizedFrame(_) => "oversized_frame",
+            DecodeError::BadTag { .. } => "bad_tag",
+            DecodeError::BadBool(_) => "bad_bool",
+            DecodeError::TrailingBytes(_) => "trailing_bytes",
+            DecodeError::NestedShardGroup => "nested_shard_group",
+        }
+    }
+}
+
 impl std::error::Error for DecodeError {}
 
 /// Bounds-checked cursor over an input slice.

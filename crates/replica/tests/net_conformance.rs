@@ -12,8 +12,10 @@ use smp_replica::{
 };
 use smp_types::ReplicaId;
 use smp_workload::LoadDistribution;
-use std::net::{SocketAddr, TcpListener};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::thread;
+use std::time::{Duration, Instant};
 
 fn free_addrs(n: usize) -> Vec<SocketAddr> {
     let listeners: Vec<TcpListener> = (0..n)
@@ -62,7 +64,7 @@ fn socket_cluster_commits_the_simulator_sequence() {
         &NetRunOptions {
             tx_limit: Some(tx_limit),
             horizon_us: 2_500_000,
-            telemetry: false,
+            ..NetRunOptions::default()
         },
     );
     for (i, r) in reports.iter().enumerate() {
@@ -84,6 +86,118 @@ fn socket_cluster_commits_the_simulator_sequence() {
     assert!(reports[1].bytes_in > 0, "replica 1 received no bytes");
 }
 
+fn admin_ask(addr: SocketAddr, cmd: &str) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    stream.set_read_timeout(Some(Duration::from_secs(2))).ok()?;
+    let mut writer = stream.try_clone().ok()?;
+    writer.write_all(format!("{cmd}\n").as_bytes()).ok()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply).ok()?;
+    Some(reply.trim_end().to_string())
+}
+
+/// Telemetry must be a pure observer: a cluster running with the full
+/// observability plane on (live sink, flight-recorder sampler, admin
+/// endpoint, and an operator polling it mid-run) commits the same
+/// byte-identical sequence as the reference simulation — and therefore
+/// as the uninstrumented cluster checked above.
+#[test]
+fn instrumented_cluster_commits_identical_sequence() {
+    let config = ExperimentConfig::new(Protocol::NativeHotStuff, 4, 4_000.0)
+        .with_distribution(LoadDistribution::SingleReplica(0))
+        .with_batch_size(16 * 1024);
+    let tx_limit = 60u64;
+    let sim_logs = sim_commit_logs(&config, Some(tx_limit), 3_000_000);
+    assert_eq!(sim_logs[0].len(), tx_limit as usize);
+
+    let addrs = free_addrs(config.n);
+    let admin_addrs = free_addrs(config.n);
+    let handles: Vec<_> = (0..config.n)
+        .map(|i| {
+            let config = config.clone();
+            let addrs = addrs.clone();
+            let opts = NetRunOptions {
+                tx_limit: Some(tx_limit),
+                horizon_us: 2_500_000,
+                telemetry: true,
+                admin_addr: Some(admin_addrs[i]),
+                flight_cadence_us: Some(100_000),
+            };
+            thread::spawn(move || {
+                run_replica_over_net(&config, ReplicaId(i as u32), addrs, &opts)
+                    .expect("net replica run")
+            })
+        })
+        .collect();
+
+    // Mid-run, every replica's admin endpoint must answer HEALTH and
+    // METRICS (retry while the cluster forms).
+    for (i, addr) in admin_addrs.iter().enumerate() {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        let health = loop {
+            match admin_ask(*addr, "HEALTH") {
+                Some(reply) => break reply,
+                None if Instant::now() < deadline => {
+                    thread::sleep(Duration::from_millis(50));
+                }
+                None => panic!("replica {i} admin endpoint never answered HEALTH"),
+            }
+        };
+        assert!(
+            health.starts_with(&format!("ok replica={i} ")),
+            "replica {i} HEALTH: {health}"
+        );
+        let metrics = admin_ask(*addr, "METRICS").expect("METRICS reply");
+        assert!(
+            metrics.starts_with('{'),
+            "replica {i} METRICS not JSON: {metrics}"
+        );
+        let series = admin_ask(*addr, "SERIES").expect("SERIES reply");
+        assert!(
+            series.contains("smp-flightrec-v1"),
+            "replica {i} SERIES not schema-versioned: {series}"
+        );
+    }
+
+    let reports: Vec<_> = handles
+        .into_iter()
+        .map(|h| h.join().expect("replica thread"))
+        .collect();
+    for (i, r) in reports.iter().enumerate() {
+        assert!(
+            r.peer_errors.is_empty(),
+            "replica {i} peer errors: {:?}",
+            r.peer_errors
+        );
+        assert!(
+            r.frame_errors.is_empty(),
+            "replica {i} frame errors: {:?}",
+            r.frame_errors
+        );
+        assert_eq!(
+            r.commit_log, sim_logs[i],
+            "replica {i}: instrumented socket commit log diverges"
+        );
+        // The observability plane actually observed: windows sampled,
+        // per-peer socket counters mirrored into the registry.
+        let series = r.flight_series.as_ref().expect("flight series recorded");
+        let windows = series.get("windows").and_then(|w| w.as_array()).unwrap();
+        assert!(!windows.is_empty(), "replica {i} recorded no windows");
+        assert_eq!(r.epoch_unix_us.map(|us| us > 0), Some(true));
+        let snap = r.telemetry.snapshot();
+        let frames_in: u64 = (0..config.n)
+            .filter_map(|p| snap.counter(&format!("replica.{i}.net.peer.{p}.frames_in")))
+            .sum();
+        // Readers count at decode time; the main loop stops draining at
+        // the horizon, so the socket-level count can only run ahead.
+        assert!(
+            frames_in >= r.frames_in && r.frames_in > 0,
+            "replica {i} counters diverge: socket {frames_in} < main loop {}",
+            r.frames_in
+        );
+    }
+}
+
 #[test]
 fn socket_cluster_runs_stratus_end_to_end() {
     // Stratus commits referenced payloads (no inline txs), so the commit
@@ -97,7 +211,7 @@ fn socket_cluster_runs_stratus_end_to_end() {
         &NetRunOptions {
             tx_limit: Some(400),
             horizon_us: 2_500_000,
-            telemetry: false,
+            ..NetRunOptions::default()
         },
     );
     for (i, r) in reports.iter().enumerate() {

@@ -20,23 +20,31 @@
 //! results byte-identical (the cross-executor conformance suite asserts
 //! this).
 
+pub mod flightrec;
 mod registry;
 mod tracer;
 
-pub use registry::{Metric, MetricsRegistry, MetricsSnapshot, SnapValue};
-pub use tracer::{PhaseProfile, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
+pub use flightrec::{
+    merge_cluster_series, FlightRecorder, FlightSampler, FlightWindow, CLUSTER_FLIGHTREC_SCHEMA,
+    DEFAULT_WINDOW_CAPACITY, FLIGHTREC_SCHEMA,
+};
+pub use registry::{rollup_snapshots, Metric, MetricsRegistry, MetricsSnapshot, SnapValue};
+pub use tracer::{merge_chrome_traces, PhaseProfile, TraceEvent, Tracer, DEFAULT_TRACE_CAPACITY};
 
 use smp_metrics::JsonValue;
 use smp_types::SimTime;
 use std::borrow::Cow;
 use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex};
-use std::time::Instant;
+use std::time::{Instant, SystemTime, UNIX_EPOCH};
 
 struct Inner {
     registry: Mutex<MetricsRegistry>,
     tracer: Mutex<Tracer>,
     epoch: Instant,
+    /// Wall-clock time of `epoch` as µs since the Unix epoch — the
+    /// cross-process alignment anchor for merging traces and series.
+    epoch_unix_us: u64,
     /// Wall-clock-only mode: there is no simulated clock (the sink
     /// belongs to a real-socket run), so spans stamp their "sim"
     /// timestamp from the wall-clock epoch instead of trusting the
@@ -104,6 +112,10 @@ impl Telemetry {
                 registry: Mutex::new(MetricsRegistry::new()),
                 tracer: Mutex::new(Tracer::new(capacity)),
                 epoch: Instant::now(),
+                epoch_unix_us: SystemTime::now()
+                    .duration_since(UNIX_EPOCH)
+                    .map(|d| d.as_micros() as u64)
+                    .unwrap_or(0),
                 wall_only,
             })),
             prefix: String::new(),
@@ -172,6 +184,18 @@ impl Telemetry {
         self.counter_add(name, 1);
     }
 
+    /// Overwrites the counter `prefix.name` with an absolute value (for
+    /// publishers mirroring their own monotonic totals — see
+    /// [`MetricsRegistry::counter_store`]).
+    pub fn counter_store(&self, name: &str, v: u64) {
+        let Some(inner) = &self.inner else { return };
+        inner
+            .registry
+            .lock()
+            .unwrap()
+            .counter_store(&self.key(name), v);
+    }
+
     /// Sets the gauge `prefix.name`.
     pub fn gauge_set(&self, name: &str, v: f64) {
         let Some(inner) = &self.inner else { return };
@@ -219,6 +243,42 @@ impl Telemetry {
         Span {
             inner: Some(Arc::clone(inner)),
         }
+    }
+
+    /// Records a zero-duration instant event (connection up/down, …),
+    /// self-stamped from the epoch in wall-clock mode.
+    pub fn instant(&self, name: impl Into<Cow<'static, str>>) {
+        self.instant_at(name, 0)
+    }
+
+    /// Records an instant event stamped with the given simulated time.
+    pub fn instant_at(&self, name: impl Into<Cow<'static, str>>, sim_now: SimTime) {
+        let Some(inner) = &self.inner else { return };
+        let wall_ns = inner.epoch.elapsed().as_nanos() as u64;
+        let ts = if inner.wall_only {
+            wall_ns / 1_000
+        } else {
+            sim_now
+        };
+        inner
+            .tracer
+            .lock()
+            .unwrap()
+            .instant(name.into(), self.track, ts, wall_ns);
+    }
+
+    /// Microseconds elapsed since this sink's epoch (0 when disabled).
+    pub fn epoch_elapsed_us(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_micros() as u64,
+            None => 0,
+        }
+    }
+
+    /// The sink's epoch as µs since the Unix epoch (None when disabled).
+    /// Cross-process merges align wall clocks by differencing these.
+    pub fn epoch_unix_us(&self) -> Option<u64> {
+        self.inner.as_ref().map(|i| i.epoch_unix_us)
     }
 
     /// Freezes current metric values.  Empty when disabled.

@@ -44,6 +44,22 @@ impl MetricsRegistry {
         }
     }
 
+    /// Overwrites the counter at `key` with an absolute value.
+    ///
+    /// For publishers that maintain their own monotonic totals (e.g. the
+    /// socket runtime's lock-free atomics) and periodically mirror them
+    /// into the registry: storing the absolute value keeps the counter
+    /// monotonic without the publisher tracking per-key deltas.
+    pub fn counter_store(&mut self, key: &str, v: u64) {
+        if let Metric::Counter(c) = self
+            .metrics
+            .entry(key.to_string())
+            .or_insert(Metric::Counter(0))
+        {
+            *c = v;
+        }
+    }
+
     /// Sets the gauge at `key`.
     pub fn gauge_set(&mut self, key: &str, v: f64) {
         if let Metric::Gauge(g) = self
@@ -211,6 +227,71 @@ impl MetricsSnapshot {
         MetricsSnapshot { values }
     }
 
+    /// A copy of the snapshot with every key re-keyed to `prefix.key`.
+    pub fn with_prefix(&self, prefix: &str) -> MetricsSnapshot {
+        let values = self
+            .values
+            .iter()
+            .map(|(key, value)| (format!("{prefix}.{key}"), value.clone()))
+            .collect();
+        MetricsSnapshot { values }
+    }
+
+    /// Inserts one frozen value (used when rebuilding from JSON and when
+    /// merging per-replica snapshots).  Existing keys keep their first
+    /// value.
+    pub fn insert(&mut self, key: String, value: SnapValue) {
+        self.values.entry(key).or_insert(value);
+    }
+
+    /// Rebuilds a snapshot from the object [`to_json`](Self::to_json)
+    /// emits.  Unknown or malformed entries are skipped — the parser is
+    /// for merging artifacts collected over an admin socket, where a
+    /// best-effort union beats a hard failure.
+    pub fn from_json(doc: &JsonValue) -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        let Some(pairs) = doc.as_object() else {
+            return snap;
+        };
+        for (key, entry) in pairs {
+            let Some(kind) = entry.get("type").and_then(JsonValue::as_str) else {
+                continue;
+            };
+            let value = match kind {
+                "counter" => entry
+                    .get("value")
+                    .and_then(JsonValue::as_u64)
+                    .map(SnapValue::Counter),
+                "gauge" => entry
+                    .get("value")
+                    .and_then(JsonValue::as_f64)
+                    .map(SnapValue::Gauge),
+                "hist" => {
+                    let field = |name: &str| entry.get(name).and_then(JsonValue::as_u64);
+                    match (
+                        field("count"),
+                        entry.get("mean_us").and_then(JsonValue::as_f64),
+                    ) {
+                        (Some(count), Some(mean_us)) => Some(SnapValue::Hist {
+                            count,
+                            mean_us,
+                            p50_us: field("p50_us").unwrap_or(0),
+                            p95_us: field("p95_us").unwrap_or(0),
+                            p99_us: field("p99_us").unwrap_or(0),
+                            max_us: field("max_us").unwrap_or(0),
+                        }),
+                        _ => None,
+                    }
+                }
+                _ => None,
+            };
+            if let Some(value) = value {
+                snap.insert(key.clone(), value);
+            }
+        }
+        snap
+    }
+
     /// Exports the snapshot as a JSON object keyed by metric name.
     pub fn to_json(&self) -> JsonValue {
         let pairs = self
@@ -248,6 +329,30 @@ impl MetricsSnapshot {
             .collect();
         JsonValue::Object(pairs)
     }
+}
+
+/// Merges per-replica snapshots into one cluster-wide rollup.
+///
+/// Each source is `(owner, snapshot)` where `owner` is the key prefix
+/// that replica's metrics are expected to live under (`"replica.3"`).
+/// Keys already namespaced under their owner merge as-is; keys outside
+/// the owner's namespace (process-level metrics recorded without a
+/// replica prefix) are re-prefixed with the owner, so two replicas
+/// recording the same un-prefixed key can never collide in the rollup.
+pub fn rollup_snapshots(sources: &[(String, MetricsSnapshot)]) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    for (owner, snap) in sources {
+        let owner_dot = format!("{owner}.");
+        for (key, value) in snap.iter() {
+            let merged_key = if key.starts_with(&owner_dot) || key == owner {
+                key.to_string()
+            } else {
+                format!("{owner}.{key}")
+            };
+            out.insert(merged_key, value.clone());
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -320,5 +425,119 @@ mod tests {
         let snap = r.snapshot();
         let keys: Vec<&str> = snap.iter().map(|(k, _)| k).collect();
         assert_eq!(keys, vec!["a", "z"]);
+    }
+
+    #[test]
+    fn counter_store_overwrites_for_mirroring_publishers() {
+        let mut r = MetricsRegistry::new();
+        r.counter_store("net.frames_in", 10);
+        r.counter_store("net.frames_in", 25);
+        assert_eq!(r.counter("net.frames_in"), Some(25));
+        // counter_add still composes on top of a stored value.
+        r.counter_add("net.frames_in", 5);
+        assert_eq!(r.counter("net.frames_in"), Some(30));
+    }
+
+    #[test]
+    fn diff_semantics_hold_across_repeated_windows() {
+        // Three successive windows over one registry: counters and
+        // histogram counts must always be per-window deltas, while
+        // gauges and percentiles carry the latest level — exactly what
+        // the flight recorder relies on.
+        let mut r = MetricsRegistry::new();
+        let mut prev = MetricsSnapshot::default();
+        let mut windows = Vec::new();
+        for round in 1..=3u64 {
+            r.counter_add("c", 10 * round);
+            r.gauge_set("depth", round as f64);
+            r.observe_us_n("lat", 100 * round, round as usize);
+            let now = r.snapshot();
+            windows.push(now.diff(&prev));
+            prev = now;
+        }
+        for (k, w) in windows.iter().enumerate() {
+            let round = k as u64 + 1;
+            assert_eq!(w.counter("c"), Some(10 * round), "window {k} counter");
+            assert_eq!(
+                w.get("depth"),
+                Some(&SnapValue::Gauge(round as f64)),
+                "window {k} gauge is the latest level, not a delta"
+            );
+            match w.get("lat").unwrap() {
+                SnapValue::Hist { count, max_us, .. } => {
+                    assert_eq!(*count, round, "window {k} hist count is per-window");
+                    // Percentiles are cumulative-latest (the histogram
+                    // itself is not windowed), so max reflects all rounds.
+                    assert_eq!(*max_us, 100 * round);
+                }
+                other => panic!("expected hist, got {other:?}"),
+            }
+        }
+        // Summing window counter deltas reconstructs the total.
+        let total: u64 = windows.iter().filter_map(|w| w.counter("c")).sum();
+        assert_eq!(total, r.counter("c").unwrap());
+    }
+
+    #[test]
+    fn rollup_reprefixes_unowned_keys_without_collisions() {
+        let snap_for = |frames: u64, depth: f64, owned_key: &str| {
+            let mut r = MetricsRegistry::new();
+            // Un-prefixed process-level keys: identical across replicas.
+            r.counter_add("net.frames_in", frames);
+            r.gauge_set("net.queue.depth", depth);
+            // Already namespaced under the owner: merges as-is.
+            r.counter_add(owned_key, 1);
+            r.snapshot()
+        };
+        let merged = rollup_snapshots(&[
+            (
+                "replica.0".to_string(),
+                snap_for(5, 1.0, "replica.0.commits"),
+            ),
+            (
+                "replica.1".to_string(),
+                snap_for(7, 2.0, "replica.1.commits"),
+            ),
+        ]);
+        // Same un-prefixed key from two replicas: both survive, disjoint.
+        assert_eq!(merged.counter("replica.0.net.frames_in"), Some(5));
+        assert_eq!(merged.counter("replica.1.net.frames_in"), Some(7));
+        assert_eq!(
+            merged.get("replica.0.net.queue.depth"),
+            Some(&SnapValue::Gauge(1.0))
+        );
+        assert_eq!(
+            merged.get("replica.1.net.queue.depth"),
+            Some(&SnapValue::Gauge(2.0))
+        );
+        // Owner-prefixed keys are not double-prefixed.
+        assert_eq!(merged.counter("replica.0.commits"), Some(1));
+        assert_eq!(merged.counter("replica.0.replica.0.commits"), None);
+        // Nothing leaked into the un-prefixed namespace.
+        assert_eq!(merged.counter("net.frames_in"), None);
+        assert_eq!(merged.len(), 6);
+    }
+
+    #[test]
+    fn snapshot_json_round_trips() {
+        let mut r = MetricsRegistry::new();
+        r.counter_add("replica.0.net.frames_in", 42);
+        r.gauge_set("replica.0.net.queue.depth", 3.5);
+        r.observe_us_n("replica.0.commit_latency", 800, 4);
+        let snap = r.snapshot();
+        let back = MetricsSnapshot::from_json(&snap.to_json());
+        assert_eq!(back, snap);
+        // Parsing through text (what the cluster merge actually does).
+        let text = snap.to_json().to_pretty();
+        let doc = JsonValue::parse(&text).expect("parse snapshot JSON");
+        assert_eq!(MetricsSnapshot::from_json(&doc), snap);
+        // Malformed entries are skipped, not fatal.
+        let partial = JsonValue::parse(
+            r#"{"good":{"type":"counter","value":1},"bad":{"type":"wat"},"worse":7}"#,
+        )
+        .unwrap();
+        let best_effort = MetricsSnapshot::from_json(&partial);
+        assert_eq!(best_effort.counter("good"), Some(1));
+        assert_eq!(best_effort.len(), 1);
     }
 }

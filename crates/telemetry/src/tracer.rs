@@ -34,6 +34,9 @@ pub struct TraceEvent {
     pub self_wall_ns: u64,
     /// Nesting depth at open time (0 = top level).
     pub depth: u16,
+    /// Instant event (connection up/down, …): rendered as a chrome-trace
+    /// `ph:"i"` marker instead of a complete span.
+    pub instant: bool,
 }
 
 struct OpenSpan {
@@ -110,6 +113,27 @@ impl Tracer {
             wall_dur_ns: dur,
             self_wall_ns: dur.saturating_sub(span.child_ns),
             depth,
+            instant: false,
+        });
+    }
+
+    /// Records a zero-duration instant event on the current thread
+    /// (connection up/down, handshake completion, …).
+    pub fn instant(&mut self, name: Cow<'static, str>, track: u32, sim_ts: SimTime, wall_ns: u64) {
+        let depth = self
+            .open
+            .get(&std::thread::current().id())
+            .map(|s| s.len() as u16)
+            .unwrap_or(0);
+        self.push(TraceEvent {
+            name,
+            track,
+            sim_ts,
+            wall_start_ns: wall_ns,
+            wall_dur_ns: 0,
+            self_wall_ns: 0,
+            depth,
+            instant: true,
         });
     }
 
@@ -166,28 +190,36 @@ impl Tracer {
             .iter()
             .map(|e| {
                 let cat = e.name.split('.').next().unwrap_or("span");
-                JsonValue::Object(vec![
+                let mut pairs = vec![
                     ("name".to_string(), JsonValue::String(e.name.to_string())),
                     ("cat".to_string(), JsonValue::String(cat.to_string())),
-                    ("ph".to_string(), JsonValue::String("X".to_string())),
+                    (
+                        "ph".to_string(),
+                        JsonValue::String(if e.instant { "i" } else { "X" }.to_string()),
+                    ),
                     ("pid".to_string(), JsonValue::Number(0.0)),
                     ("tid".to_string(), JsonValue::Number(e.track as f64)),
                     (
                         "ts".to_string(),
                         JsonValue::Number(e.wall_start_ns as f64 / 1_000.0),
                     ),
-                    (
+                ];
+                if e.instant {
+                    pairs.push(("s".to_string(), JsonValue::String("t".to_string())));
+                } else {
+                    pairs.push((
                         "dur".to_string(),
                         JsonValue::Number(e.wall_dur_ns as f64 / 1_000.0),
-                    ),
-                    (
-                        "args".to_string(),
-                        JsonValue::Object(vec![
-                            ("sim_ts_us".to_string(), JsonValue::Number(e.sim_ts as f64)),
-                            ("depth".to_string(), JsonValue::Number(e.depth as f64)),
-                        ]),
-                    ),
-                ])
+                    ));
+                }
+                pairs.push((
+                    "args".to_string(),
+                    JsonValue::Object(vec![
+                        ("sim_ts_us".to_string(), JsonValue::Number(e.sim_ts as f64)),
+                        ("depth".to_string(), JsonValue::Number(e.depth as f64)),
+                    ]),
+                ));
+                JsonValue::Object(pairs)
             })
             .collect();
         JsonValue::Object(vec![
@@ -204,6 +236,64 @@ impl Default for Tracer {
     fn default() -> Self {
         Tracer::new(DEFAULT_TRACE_CAPACITY)
     }
+}
+
+/// Merges per-process chrome-trace documents into one cluster timeline.
+///
+/// Each source is `(label, offset_us, doc)` where `doc` is a document in
+/// the shape [`Tracer::to_chrome_json`] emits and `offset_us` shifts that
+/// process's timestamps onto the shared cluster clock (each process
+/// stamps `ts` relative to its own telemetry epoch; the caller computes
+/// offsets from the processes' epoch wall-clock times).  Source `i`
+/// renders as chrome process `i` named `label`, so a merged cluster
+/// trace shows one track (process row) per replica.
+pub fn merge_chrome_traces(sources: &[(String, i64, JsonValue)]) -> JsonValue {
+    let mut events = Vec::new();
+    let mut dropped = 0.0;
+    for (pid, (label, offset_us, doc)) in sources.iter().enumerate() {
+        // Chrome metadata event naming the process row.
+        events.push(JsonValue::Object(vec![
+            (
+                "name".to_string(),
+                JsonValue::String("process_name".to_string()),
+            ),
+            ("ph".to_string(), JsonValue::String("M".to_string())),
+            ("pid".to_string(), JsonValue::Number(pid as f64)),
+            ("tid".to_string(), JsonValue::Number(0.0)),
+            (
+                "args".to_string(),
+                JsonValue::Object(vec![("name".to_string(), JsonValue::String(label.clone()))]),
+            ),
+        ]));
+        dropped += doc
+            .get("droppedEvents")
+            .and_then(JsonValue::as_f64)
+            .unwrap_or(0.0);
+        let Some(items) = doc.get("traceEvents").and_then(JsonValue::as_array) else {
+            continue;
+        };
+        for item in items {
+            let JsonValue::Object(pairs) = item else {
+                continue;
+            };
+            let shifted = pairs
+                .iter()
+                .map(|(k, v)| match k.as_str() {
+                    "pid" => (k.clone(), JsonValue::Number(pid as f64)),
+                    "ts" => (
+                        k.clone(),
+                        JsonValue::Number(v.as_f64().unwrap_or(0.0) + *offset_us as f64),
+                    ),
+                    _ => (k.clone(), v.clone()),
+                })
+                .collect();
+            events.push(JsonValue::Object(shifted));
+        }
+    }
+    JsonValue::Object(vec![
+        ("traceEvents".to_string(), JsonValue::Array(events)),
+        ("droppedEvents".to_string(), JsonValue::Number(dropped)),
+    ])
 }
 
 #[cfg(test)]
