@@ -10,9 +10,18 @@
 //! ```text
 //! localcluster [--protocol N-HS] [--n 4] [--rate 4000] [--tx-limit 60]
 //!              [--horizon-us 2500000] [--seed 42] [--batch-bytes 16384]
-//!              [--source <replica index|even>] [--check-sim]
+//!              [--source <replica index|even>] [--check-sim] [--chaos]
 //!              [--bench-out <path>] [--trace-out <dir>]
 //! ```
+//!
+//! With `--chaos` the parent SIGKILLs the last replica at 30% of the
+//! horizon, restarts it 200 ms later in recovery mode (`--recover`), and
+//! holds the resurrected process to the same agreement (and, with
+//! `--check-sim`, simulator-conformance) bar as everyone else: the
+//! recovered replica must re-sync the committed sequence over the `Sync`
+//! wire family and finish byte-identical.  The kill/restart instants are
+//! stamped into `cluster_trace.json` as global instant events when
+//! `--trace-out` is active.
 //!
 //! With `--trace-out <dir>` the run becomes fully observed: each child
 //! serves an admin endpoint the parent polls mid-run (`HEALTH`,
@@ -47,7 +56,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::{Path, PathBuf};
 use std::process::{Command, Stdio};
 use std::thread;
-use std::time::{Duration, Instant};
+use std::time::{Duration, Instant, SystemTime, UNIX_EPOCH};
 
 fn parse_protocol(s: &str) -> Option<Protocol> {
     Protocol::all()
@@ -198,6 +207,7 @@ fn run_child(me: usize, args: &ClusterArgs) -> ! {
         // Sample often enough that even a short CI run records several
         // windows per replica.
         flight_cadence_us: observed.then_some(250_000),
+        recover: std::env::args().any(|a| a == "--recover"),
     };
     let summary = run_replica_over_net(&args.config(), ReplicaId(me as u32), addrs, &opts)
         .unwrap_or_else(|e| {
@@ -384,8 +394,15 @@ fn check_admin(addr: SocketAddr, i: usize) -> Result<String, String> {
 /// `cluster_trace.json` (one chrome://tracing timeline, one process
 /// track per replica, wall-clocks aligned via epoch offsets) and
 /// `cluster_flightrec.json` (per-replica window series + metrics
-/// rollup).
-fn merge_cluster_artifacts(dir: &str, n: usize, epochs: &[u64]) -> io::Result<(PathBuf, PathBuf)> {
+/// rollup).  Chaos fault instants (`faults`: name + wall-clock µs) are
+/// stamped into the merged trace as global chrome instant events on the
+/// same epoch-aligned timeline.
+fn merge_cluster_artifacts(
+    dir: &str,
+    n: usize,
+    epochs: &[u64],
+    faults: &[(String, u64)],
+) -> io::Result<(PathBuf, PathBuf)> {
     let read_json = |name: String| -> io::Result<JsonValue> {
         let path = Path::new(dir).join(&name);
         let text = std::fs::read_to_string(&path)?;
@@ -416,7 +433,25 @@ fn merge_cluster_artifacts(dir: &str, n: usize, epochs: &[u64]) -> io::Result<(P
         snapshots.push((label, MetricsSnapshot::from_json(&metrics)));
     }
     let trace_path = Path::new(dir).join("cluster_trace.json");
-    std::fs::write(&trace_path, merge_chrome_traces(&trace_sources).to_pretty())?;
+    let mut trace_doc = merge_chrome_traces(&trace_sources);
+    if let JsonValue::Object(fields) = &mut trace_doc {
+        if let Some((_, JsonValue::Array(events))) =
+            fields.iter_mut().find(|(k, _)| k == "traceEvents")
+        {
+            for (name, at_unix_us) in faults {
+                let ts = at_unix_us.saturating_sub(min_epoch) as f64;
+                events.push(JsonValue::Object(vec![
+                    ("name".into(), JsonValue::String(name.clone())),
+                    ("ph".into(), JsonValue::String("i".into())),
+                    ("s".into(), JsonValue::String("g".into())),
+                    ("ts".into(), JsonValue::Number(ts)),
+                    ("pid".into(), JsonValue::Number(0.0)),
+                    ("tid".into(), JsonValue::Number(0.0)),
+                ]));
+            }
+        }
+    }
+    std::fs::write(&trace_path, trace_doc.to_pretty())?;
     let rollup = rollup_snapshots(&snapshots).to_json();
     let flight_path = Path::new(dir).join("cluster_flightrec.json");
     std::fs::write(
@@ -424,6 +459,13 @@ fn merge_cluster_artifacts(dir: &str, n: usize, epochs: &[u64]) -> io::Result<(P
         merge_cluster_series(&series_sources, Some(rollup)).to_pretty(),
     )?;
     Ok((trace_path, flight_path))
+}
+
+fn unix_us() -> u64 {
+    SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .expect("clock before unix epoch")
+        .as_micros() as u64
 }
 
 fn free_addrs(n: usize) -> Vec<SocketAddr> {
@@ -503,6 +545,49 @@ fn main() {
         thread::spawn(move || poll_admin_endpoints(admin_addrs, horizon_us))
     });
 
+    // Chaos: SIGKILL the last replica at 30% of the horizon, then
+    // respawn it 200 ms later with `--recover`.  The first incarnation's
+    // output and exit status are discarded; the resurrected process is
+    // held to the same agreement bar as everyone else, which forces the
+    // `Sync` re-sync path over real sockets.
+    let chaos = std::env::args().any(|a| a == "--chaos");
+    if chaos && args.n < 2 {
+        eprintln!("localcluster: --chaos needs at least 2 replicas");
+        std::process::exit(2);
+    }
+    let chaos_handle = chaos.then(|| {
+        let victim = args.n - 1;
+        let mut first = children.pop().expect("victim child");
+        let exe = exe.clone();
+        let mut respawn_args: Vec<String> = vec![
+            "--replica".into(),
+            victim.to_string(),
+            "--addrs".into(),
+            addr_list.clone(),
+        ];
+        respawn_args.extend(args.forward());
+        if let Some(admin) = admin_addrs.get(victim) {
+            respawn_args.push("--admin-addr".into());
+            respawn_args.push(admin.to_string());
+        }
+        respawn_args.push("--recover".into());
+        let kill_after = Duration::from_micros(args.horizon_us * 3 / 10);
+        thread::spawn(move || {
+            thread::sleep(kill_after);
+            let kill_unix_us = unix_us();
+            first.kill().expect("kill victim");
+            first.wait().expect("reap victim");
+            thread::sleep(Duration::from_millis(200));
+            let child = Command::new(&exe)
+                .args(&respawn_args)
+                .stdout(Stdio::piped())
+                .stderr(Stdio::inherit())
+                .spawn()
+                .expect("respawn victim");
+            (kill_unix_us, unix_us(), child)
+        })
+    });
+
     let mut reports = Vec::new();
     let mut failed = false;
     for (i, mut child) in children.into_iter().enumerate() {
@@ -516,6 +601,34 @@ fn main() {
         let status = child.wait().expect("wait for child");
         if !status.success() {
             eprintln!("localcluster: replica {i} exited with {status}");
+            failed = true;
+        }
+        reports.push(parse_child_output(&text));
+    }
+
+    // Collect the resurrected victim last: its run started late and ends
+    // after the survivors, so this read naturally waits out recovery.
+    let mut fault_timeline: Vec<(String, u64)> = Vec::new();
+    if let Some(handle) = chaos_handle {
+        let victim = args.n - 1;
+        let (kill_us, restart_us, mut child) = handle.join().expect("chaos thread");
+        println!(
+            "localcluster: chaos SIGKILLed replica {victim} and respawned it \
+             {}ms later with --recover",
+            restart_us.saturating_sub(kill_us) / 1_000
+        );
+        fault_timeline.push((format!("fault.kill.replica.{victim}"), kill_us));
+        fault_timeline.push((format!("fault.restart.replica.{victim}"), restart_us));
+        let mut text = String::new();
+        child
+            .stdout
+            .take()
+            .expect("piped stdout")
+            .read_to_string(&mut text)
+            .expect("read recovered child stdout");
+        let status = child.wait().expect("wait for recovered child");
+        if !status.success() {
+            eprintln!("localcluster: recovered replica {victim} exited with {status}");
             failed = true;
         }
         reports.push(parse_child_output(&text));
@@ -607,7 +720,7 @@ fn main() {
             .iter()
             .map(|r| r.stats.get("epoch_unix_us").copied().unwrap_or(0))
             .collect();
-        match merge_cluster_artifacts(dir, args.n, &epochs) {
+        match merge_cluster_artifacts(dir, args.n, &epochs, &fault_timeline) {
             Ok((trace_path, flight_path)) => println!(
                 "localcluster: merged cluster artifacts: {} {}",
                 trace_path.display(),

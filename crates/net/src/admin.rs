@@ -6,7 +6,7 @@
 //!
 //! | command   | reply                                                  |
 //! |-----------|--------------------------------------------------------|
-//! | `HEALTH`  | `ok replica=<id> uptime_us=<n> spans=<n>`              |
+//! | `HEALTH`  | `ok replica=<id> uptime_us=<n> spans=<n>` (plus `reconnects=`/`requeued=`/`dropped_disconnected=`/`backoff_ms=` when [`NetStats`](crate::NetStats) is attached) |
 //! | `METRICS` | the metrics registry as compact JSON                   |
 //! | `SERIES`  | the flight recorder's window series as compact JSON    |
 //! | `TRACE`   | retained spans as a compact chrome://tracing document  |
@@ -38,6 +38,10 @@ pub struct AdminState {
     /// Hook run before `METRICS`/`SERIES` replies, typically publishing
     /// lock-free counters into the registry.
     pub refresh: Option<Arc<dyn Fn() + Send + Sync>>,
+    /// The socket runtime's counters; when attached, `HEALTH` appends
+    /// reconnect/requeue/drop totals so a degraded peer is visible from
+    /// one line mid-run.
+    pub net: Option<Arc<crate::NetStats>>,
 }
 
 impl std::fmt::Debug for AdminState {
@@ -137,12 +141,24 @@ fn serve_client(stream: TcpStream, state: &AdminState, stop: &AtomicBool) -> io:
         let cmd = line.trim().to_ascii_uppercase();
         let reply = match cmd.as_str() {
             "" => continue,
-            "HEALTH" => format!(
-                "ok replica={} uptime_us={} spans={}",
-                state.replica,
-                state.telemetry.epoch_elapsed_us(),
-                state.telemetry.trace_len(),
-            ),
+            "HEALTH" => {
+                let mut reply = format!(
+                    "ok replica={} uptime_us={} spans={}",
+                    state.replica,
+                    state.telemetry.epoch_elapsed_us(),
+                    state.telemetry.trace_len(),
+                );
+                if let Some(net) = &state.net {
+                    reply.push_str(&format!(
+                        " reconnects={} requeued={} dropped_disconnected={} backoff_ms={}",
+                        net.reconnects_total(),
+                        net.frames_requeued_total(),
+                        net.frames_dropped_disconnected_total(),
+                        net.backoff_ms_total(),
+                    ));
+                }
+                reply
+            }
             "METRICS" => {
                 if let Some(refresh) = &state.refresh {
                     refresh();
@@ -205,6 +221,9 @@ mod tests {
             .sample(telemetry.snapshot(), telemetry.epoch_elapsed_us());
         let refreshed = Arc::new(AtomicBool::new(false));
         let refreshed2 = Arc::clone(&refreshed);
+        let net = Arc::new(crate::NetStats::new(2));
+        net.record_reconnect(1);
+        net.record_backoff(1, 12);
         let state = AdminState {
             replica: 3,
             telemetry,
@@ -212,6 +231,7 @@ mod tests {
             refresh: Some(Arc::new(move || {
                 refreshed2.store(true, Ordering::Relaxed);
             })),
+            net: Some(net),
         };
         let mut admin =
             spawn_admin("127.0.0.1:0".parse().unwrap(), state).expect("spawn admin endpoint");
@@ -221,6 +241,10 @@ mod tests {
         assert!(
             health.starts_with("ok replica=3 uptime_us="),
             "unexpected HEALTH reply: {health}"
+        );
+        assert!(
+            health.contains("reconnects=1") && health.contains("backoff_ms=12"),
+            "HEALTH must surface net counters: {health}"
         );
         let metrics = ask(addr, "METRICS");
         assert!(metrics.contains("net.peer.1.frames_in"));
@@ -270,6 +294,7 @@ mod tests {
             telemetry: Telemetry::wall_clock(),
             recorder: None,
             refresh: None,
+            net: None,
         };
         let admin =
             spawn_admin("127.0.0.1:0".parse().unwrap(), state).expect("spawn admin endpoint");

@@ -30,15 +30,26 @@
 //! errors by taxonomy — all lock-free atomics) and each process can
 //! expose a line-oriented admin socket ([`admin`]) answering `HEALTH`,
 //! `METRICS`, `SERIES`, and `TRACE` for live introspection.
+//!
+//! Connections are *supervised*: a per-peer supervisor thread owns the
+//! outbound connection and redials with deterministic exponential
+//! backoff ([`backoff::BackoffPolicy`]) whenever it drops, bumping a
+//! connection epoch each time it re-establishes.  While a peer is down,
+//! outbound frames keep queueing up to [`DISCONNECTED_QUEUE_CAP`]; the
+//! overflow is counted (`frames_dropped_disconnected`), never lost
+//! silently, and a priority frame caught mid-write is requeued at the
+//! front of its lane for the next epoch (`frames_requeued`).
 
 pub mod admin;
+pub mod backoff;
 pub mod runtime;
 pub mod stats;
 
 use std::fmt;
 
 pub use admin::{spawn_admin, AdminHandle, AdminState};
-pub use runtime::{ClusterSpec, NetReport, NetRuntime};
+pub use backoff::BackoffPolicy;
+pub use runtime::{ClusterSpec, NetReport, NetRuntime, DISCONNECTED_QUEUE_CAP};
 pub use stats::{NetStats, PeerStats, DECODE_TAXONOMY, STALL_QUEUE_DEPTH};
 
 /// Error raised while framing or deframing a message.

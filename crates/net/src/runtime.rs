@@ -1,6 +1,17 @@
 //! The socket runtime: peer connections, two-lane writers, wall-clock
 //! timers, and the main event loop driving one [`Node`].
+//!
+//! Every outbound connection is owned by a *reconnect supervisor*: a
+//! per-peer thread that dials with deterministic exponential backoff
+//! ([`BackoffPolicy`]), pumps the two-lane queue while the connection
+//! is healthy, and on a write failure bumps the connection epoch,
+//! requeues the priority frame it was holding, and redials.  The accept
+//! loop runs for the whole life of the process, so a peer that crashes
+//! and restarts is re-admitted: its fresh hello replaces the dead
+//! inbound connection and its own supervisor re-establishes the
+//! outbound one.
 
+use crate::backoff::BackoffPolicy;
 use crate::stats::NetStats;
 use crate::{WireError, WireMsg};
 use simnet::{Node, NodeAction, NodeDriver, ObservationLog, Telemetry};
@@ -23,6 +34,12 @@ type ReaderRegistry = Arc<Mutex<Vec<(TcpStream, JoinHandle<()>)>>>;
 const HELLO_MAGIC: [u8; 4] = *b"SMPH";
 const HELLO_BYTES: usize = 8;
 
+/// Maximum frames a peer's outbound queue may hold while the peer is
+/// disconnected.  Beyond this, new frames are dropped and counted
+/// (`frames_dropped_disconnected`) — bounded loss instead of unbounded
+/// memory while a peer is down for a long repair.
+pub const DISCONNECTED_QUEUE_CAP: usize = 8_192;
+
 /// How the runtime finds its peers.
 #[derive(Clone, Debug)]
 pub struct ClusterSpec {
@@ -32,8 +49,11 @@ pub struct ClusterSpec {
     pub addrs: Vec<SocketAddr>,
     /// Deployment-wide seed (must match the reference simulation's).
     pub seed: u64,
-    /// How long to keep retrying dials during cluster formation.
+    /// How long cluster formation may take before the run fails.
     pub connect_timeout: Duration,
+    /// Backoff policy shared by formation dials, steady-state
+    /// reconnects, and listener re-binds after a crash-restart.
+    pub backoff: BackoffPolicy,
 }
 
 impl ClusterSpec {
@@ -44,6 +64,7 @@ impl ClusterSpec {
             addrs,
             seed,
             connect_timeout: Duration::from_secs(10),
+            backoff: BackoffPolicy::default(),
         }
     }
 
@@ -83,36 +104,70 @@ struct Lanes {
     high: VecDeque<Vec<u8>>,
     bulk: VecDeque<Vec<u8>>,
     closed: bool,
+    /// Whether the supervisor currently holds a live connection.  While
+    /// false, enqueues are bounded by [`DISCONNECTED_QUEUE_CAP`].
+    connected: bool,
 }
 
 struct PeerTx {
+    /// Index of the peer this queue feeds (for stats attribution).
+    peer: usize,
+    /// Queue-depth accounting happens under the lane mutex so the
+    /// supervisor draining a frame can never observe a depth the
+    /// enqueuer has not recorded yet.
+    stats: Arc<NetStats>,
     lanes: Mutex<Lanes>,
     cv: Condvar,
 }
 
 impl PeerTx {
-    fn new() -> Self {
+    fn new(peer: usize, stats: Arc<NetStats>) -> Self {
         PeerTx {
+            peer,
+            stats,
             lanes: Mutex::new(Lanes {
                 high: VecDeque::new(),
                 bulk: VecDeque::new(),
                 closed: false,
+                connected: false,
             }),
             cv: Condvar::new(),
         }
     }
 
-    fn enqueue(&self, frame: Vec<u8>, priority: bool) {
+    /// Queues a frame.  Returns `false` when the frame was dropped
+    /// because the peer is disconnected and the queue is at cap (the
+    /// caller counts it under `frames_dropped_disconnected`).
+    fn enqueue(&self, frame: Vec<u8>, priority: bool) -> bool {
         let mut lanes = self.lanes.lock().expect("writer lane poisoned");
         if lanes.closed {
-            return;
+            return true;
         }
+        if !lanes.connected && lanes.high.len() + lanes.bulk.len() >= DISCONNECTED_QUEUE_CAP {
+            return false;
+        }
+        self.stats.record_out(self.peer, priority, frame.len());
         if priority {
             lanes.high.push_back(frame);
         } else {
             lanes.bulk.push_back(frame);
         }
         self.cv.notify_one();
+        true
+    }
+
+    /// Puts an undelivered priority frame back at the front of its lane
+    /// so it is first out on the next connection epoch.
+    fn requeue_front(&self, frame: Vec<u8>) {
+        let mut lanes = self.lanes.lock().expect("writer lane poisoned");
+        self.stats.record_requeue(self.peer);
+        lanes.high.push_front(frame);
+        self.cv.notify_one();
+    }
+
+    fn set_connected(&self, connected: bool) {
+        let mut lanes = self.lanes.lock().expect("writer lane poisoned");
+        lanes.connected = connected;
     }
 
     fn close(&self) {
@@ -122,15 +177,18 @@ impl PeerTx {
     }
 
     /// Blocks until a frame is available (priority lane first) or the
-    /// queue is closed *and* fully drained.
-    fn next(&self) -> Option<Vec<u8>> {
+    /// queue is closed *and* fully drained.  The flag says which lane
+    /// the frame came from (true = priority).
+    fn next(&self) -> Option<(Vec<u8>, bool)> {
         let mut lanes = self.lanes.lock().expect("writer lane poisoned");
         loop {
             if let Some(f) = lanes.high.pop_front() {
-                return Some(f);
+                self.stats.record_drain(self.peer);
+                return Some((f, true));
             }
             if let Some(f) = lanes.bulk.pop_front() {
-                return Some(f);
+                self.stats.record_drain(self.peer);
+                return Some((f, false));
             }
             if lanes.closed {
                 return None;
@@ -138,11 +196,26 @@ impl PeerTx {
             lanes = self.cv.wait(lanes).expect("writer lane poisoned");
         }
     }
+
+    /// Empties both lanes, returning how many frames were discarded.
+    /// Used when the supervisor exits while the peer is unreachable.
+    fn discard_all(&self) -> usize {
+        let mut lanes = self.lanes.lock().expect("writer lane poisoned");
+        let n = lanes.high.len() + lanes.bulk.len();
+        for _ in 0..n {
+            self.stats.record_drain(self.peer);
+        }
+        lanes.high.clear();
+        lanes.bulk.clear();
+        n
+    }
 }
 
 /// Events flowing from the I/O threads into the main loop.
 enum Ev<M> {
     PeerUp(ReplicaId),
+    /// An outbound dial to a peer completed its hello.
+    DialUp(ReplicaId),
     Msg {
         from: ReplicaId,
         msg: M,
@@ -204,14 +277,24 @@ where
     /// microseconds, shuts everything down cleanly, and reports.
     ///
     /// Cluster formation is a barrier: the node's `on_start` only runs
-    /// once every outbound dial has succeeded *and* every peer's inbound
-    /// connection has said hello, so no frames are lost to startup races.
+    /// once every outbound dial has said hello *and* every peer's
+    /// inbound connection has said hello, so no frames are lost to
+    /// startup races.
     pub fn run(mut self, horizon_us: u64) -> io::Result<NetReport<N>> {
         let n = self.spec.n();
         let me = self.spec.me;
         let peers = n - 1;
 
-        let listener = TcpListener::bind(self.spec.addrs[me.index()])?;
+        // A restarted process may find its old sockets still draining in
+        // the kernel; re-bind with the shared backoff policy instead of
+        // failing the relaunch.
+        let listener = bind_listener(
+            self.spec.addrs[me.index()],
+            &self.spec.backoff,
+            self.spec.seed,
+            me,
+            self.spec.connect_timeout,
+        )?;
         listener.set_nonblocking(true)?;
 
         let (tx, rx) = mpsc::channel::<Ev<N::Msg>>();
@@ -223,55 +306,59 @@ where
             let stop = Arc::clone(&stop);
             let readers = Arc::clone(&readers);
             let stats = Arc::clone(&self.stats);
-            let deadline = Instant::now() + self.spec.connect_timeout;
-            thread::spawn(move || {
-                accept_loop::<N::Msg>(listener, n, tx, stop, readers, deadline, stats)
-            })
+            thread::spawn(move || accept_loop::<N::Msg>(listener, n, tx, stop, readers, stats))
         };
 
-        // Dial every peer (retrying while it binds) and start its writer.
+        // One reconnect supervisor per peer owns that peer's outbound
+        // connection for the life of the run (formation dial and
+        // steady-state redial are the same code path).
         let mut peer_txs: Vec<Option<Arc<PeerTx>>> = (0..n).map(|_| None).collect();
-        let mut writer_handles = Vec::new();
-        let mut writer_streams = Vec::new();
+        let mut supervisor_handles = Vec::new();
         for (i, slot) in peer_txs.iter_mut().enumerate() {
             if i == me.index() {
                 continue;
             }
-            let stream = dial(self.spec.addrs[i], self.spec.connect_timeout)?;
-            stream.set_nodelay(true).ok();
-            let mut hello = Vec::with_capacity(HELLO_BYTES);
-            hello.extend_from_slice(&HELLO_MAGIC);
-            hello.extend_from_slice(&me.0.to_be_bytes());
-            let mut s = stream.try_clone()?;
-            s.write_all(&hello)?;
-            let peer_tx = Arc::new(PeerTx::new());
+            let peer_tx = Arc::new(PeerTx::new(i, Arc::clone(&self.stats)));
             *slot = Some(Arc::clone(&peer_tx));
-            writer_streams.push(stream.try_clone()?);
+            let addr = self.spec.addrs[i];
+            let seed = self.spec.seed;
+            let policy = self.spec.backoff;
             let stats = Arc::clone(&self.stats);
-            writer_handles.push(thread::spawn(move || {
-                writer_loop(stream, peer_tx, stats, i)
+            let stop = Arc::clone(&stop);
+            let events = tx.clone();
+            supervisor_handles.push(thread::spawn(move || {
+                supervisor_loop::<N::Msg>(i, addr, me, seed, policy, peer_tx, stats, stop, events)
             }));
         }
 
-        // Barrier: wait for all inbound hellos; buffer any early frames.
+        // Barrier: wait until every dial and every inbound hello is in;
+        // buffer any early frames.
         let mut pending: VecDeque<(ReplicaId, N::Msg, usize)> = VecDeque::new();
         let mut peer_errors = Vec::new();
         let mut frame_errors = Vec::new();
         let mut up: HashSet<ReplicaId> = HashSet::new();
+        let mut dialed: HashSet<ReplicaId> = HashSet::new();
         let formation_deadline = Instant::now() + self.spec.connect_timeout;
-        while up.len() < peers {
+        while up.len() < peers || dialed.len() < peers {
             let left = formation_deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
                 stop.store(true, Ordering::Relaxed);
                 return Err(io::Error::new(
                     io::ErrorKind::TimedOut,
-                    format!("cluster formation timed out: {}/{peers} peers up", up.len()),
+                    format!(
+                        "cluster formation timed out: {}/{peers} peers up, {}/{peers} dialed",
+                        up.len(),
+                        dialed.len()
+                    ),
                 ));
             }
             match rx.recv_timeout(left) {
                 Ok(Ev::PeerUp(from)) => {
                     self.telemetry.instant(format!("net.peer.{}.up", from.0));
                     up.insert(from);
+                }
+                Ok(Ev::DialUp(to)) => {
+                    dialed.insert(to);
                 }
                 Ok(Ev::Msg { from, msg, bytes }) => pending.push_back((from, msg, bytes)),
                 Ok(Ev::PeerGone { from, error }) => {
@@ -375,23 +462,26 @@ where
                         .instant(format!("net.peer.{}.frame_error", from.0));
                     frame_errors.push(format!("peer {}: {error}", from.0));
                 }
-                Ok(Ev::PeerUp(_)) => {}
+                Ok(Ev::PeerUp(from)) => {
+                    // A peer reconnected mid-run (crash-restart).
+                    self.telemetry.instant(format!("net.peer.{}.up", from.0));
+                }
+                Ok(Ev::DialUp(to)) => {
+                    self.telemetry.instant(format!("net.peer.{}.redial", to.0));
+                }
                 Err(RecvTimeoutError::Timeout) => {}
                 Err(RecvTimeoutError::Disconnected) => unreachable!("main keeps a sender"),
             }
         }
 
-        // Clean shutdown: stop accepting, flush and close writers, then
-        // unblock and join readers.
+        // Clean shutdown: stop accepting, flush and close supervisors,
+        // then unblock and join readers.
         stop.store(true, Ordering::Relaxed);
         for peer_tx in st.peer_txs.iter().flatten() {
             peer_tx.close();
         }
-        for h in writer_handles {
-            h.join().map_err(|_| panicked("writer"))?;
-        }
-        for s in &writer_streams {
-            s.shutdown(Shutdown::Both).ok();
+        for h in supervisor_handles {
+            h.join().map_err(|_| panicked("supervisor"))?;
         }
         accept_handle.join().map_err(|_| panicked("acceptor"))?;
         let readers = std::mem::take(&mut *readers.lock().expect("reader registry poisoned"));
@@ -449,10 +539,15 @@ impl<M: WireMsg> RunState<M> {
                         Some(peer_tx) => {
                             let priority = msg.high_priority();
                             let frame = msg.encode();
-                            self.frames_out += 1;
-                            self.bytes_out += frame.len() as u64;
-                            self.stats.record_out(to.index(), priority, frame.len());
-                            peer_tx.enqueue(frame, priority);
+                            let len = frame.len();
+                            // The queue records lane/depth counters itself
+                            // (under its lock, racing drains stay exact).
+                            if peer_tx.enqueue(frame, priority) {
+                                self.frames_out += 1;
+                                self.bytes_out += len as u64;
+                            } else {
+                                self.stats.record_dropped_disconnected(to.index(), 1);
+                            }
                         }
                     }
                 }
@@ -476,21 +571,117 @@ fn panicked(what: &str) -> io::Error {
     io::Error::other(format!("{what} thread panicked"))
 }
 
-fn dial(addr: SocketAddr, timeout: Duration) -> io::Result<TcpStream> {
+/// Binds the listen socket, retrying with backoff while the address is
+/// busy (a freshly restarted replica racing its predecessor's sockets).
+fn bind_listener(
+    addr: SocketAddr,
+    policy: &BackoffPolicy,
+    seed: u64,
+    me: ReplicaId,
+    timeout: Duration,
+) -> io::Result<TcpListener> {
     let deadline = Instant::now() + timeout;
+    let mut attempt = 0u32;
     loop {
-        match TcpStream::connect(addr) {
-            Ok(s) => return Ok(s),
+        match TcpListener::bind(addr) {
+            Ok(l) => return Ok(l),
             Err(e) => {
                 if Instant::now() >= deadline {
                     return Err(io::Error::new(
                         io::ErrorKind::TimedOut,
-                        format!("dialing {addr} timed out: {e}"),
+                        format!("binding {addr} timed out: {e}"),
                     ));
                 }
-                thread::sleep(Duration::from_millis(10));
+                thread::sleep(policy.delay(seed, me.0, attempt));
+                attempt += 1;
             }
         }
+    }
+}
+
+/// Sleeps `total` in small slices, returning early once `stop` is set.
+fn sleep_interruptible(total: Duration, stop: &AtomicBool) {
+    let deadline = Instant::now() + total;
+    while !stop.load(Ordering::Relaxed) {
+        let left = deadline.saturating_duration_since(Instant::now());
+        if left.is_zero() {
+            return;
+        }
+        thread::sleep(left.min(Duration::from_millis(10)));
+    }
+}
+
+/// Owns one peer's outbound connection for the life of the run: dial
+/// with backoff, say hello, pump frames; on failure, requeue and redial.
+#[allow(clippy::too_many_arguments)]
+fn supervisor_loop<M>(
+    peer: usize,
+    addr: SocketAddr,
+    me: ReplicaId,
+    seed: u64,
+    policy: BackoffPolicy,
+    peer_tx: Arc<PeerTx>,
+    stats: Arc<NetStats>,
+    stop: Arc<AtomicBool>,
+    events: Sender<Ev<M>>,
+) {
+    let mut epoch = 0u64;
+    'connect: loop {
+        // Dial until the peer answers, backing off deterministically.
+        let mut attempt = 0u32;
+        let mut stream = loop {
+            if stop.load(Ordering::Relaxed) {
+                let lost = peer_tx.discard_all();
+                if lost > 0 {
+                    stats.record_dropped_disconnected(peer, lost as u64);
+                }
+                return;
+            }
+            match TcpStream::connect(addr) {
+                Ok(s) => break s,
+                Err(_) => {
+                    let delay = policy.delay(seed, peer as u32, attempt);
+                    stats.record_backoff(peer, delay.as_millis() as u64);
+                    sleep_interruptible(delay, &stop);
+                    attempt += 1;
+                }
+            }
+        };
+        stream.set_nodelay(true).ok();
+        let mut hello = Vec::with_capacity(HELLO_BYTES);
+        hello.extend_from_slice(&HELLO_MAGIC);
+        hello.extend_from_slice(&me.0.to_be_bytes());
+        if stream.write_all(&hello).is_err() {
+            let delay = policy.delay(seed, peer as u32, attempt);
+            stats.record_backoff(peer, delay.as_millis() as u64);
+            sleep_interruptible(delay, &stop);
+            continue 'connect;
+        }
+        epoch += 1;
+        if epoch > 1 {
+            stats.record_reconnect(peer);
+        }
+        peer_tx.set_connected(true);
+        events.send(Ev::DialUp(ReplicaId(peer as u32))).ok();
+
+        // Pump until the queue closes (shutdown) or the write fails.
+        while let Some((frame, priority)) = peer_tx.next() {
+            if stream.write_all(&frame).is_err() {
+                peer_tx.set_connected(false);
+                if priority {
+                    // First out on the next epoch; the requeue depth is
+                    // bounded by DISCONNECTED_QUEUE_CAP like any other
+                    // disconnected enqueue.
+                    peer_tx.requeue_front(frame);
+                } else {
+                    stats.record_dropped_disconnected(peer, 1);
+                }
+                continue 'connect;
+            }
+        }
+        stream.flush().ok();
+        stream.shutdown(Shutdown::Both).ok();
+        return;
     }
 }
 
@@ -500,12 +691,11 @@ fn accept_loop<M: WireMsg>(
     tx: Sender<Ev<M>>,
     stop: Arc<AtomicBool>,
     readers: ReaderRegistry,
-    deadline: Instant,
     stats: Arc<NetStats>,
 ) {
-    let expected = n - 1;
-    let mut accepted = 0usize;
-    while accepted < expected && !stop.load(Ordering::Relaxed) && Instant::now() < deadline {
+    // Runs for the whole life of the process: a peer that crashes and
+    // restarts is re-admitted through a fresh hello, not locked out.
+    while !stop.load(Ordering::Relaxed) {
         match listener.accept() {
             Ok((stream, _)) => {
                 stream.set_nonblocking(false).ok();
@@ -518,7 +708,6 @@ fn accept_loop<M: WireMsg>(
                     stats.record_handshake_failure();
                     continue;
                 }
-                accepted += 1;
                 stats.record_connect(from.index());
                 let clone = match stream.try_clone() {
                     Ok(c) => c,
@@ -569,8 +758,12 @@ fn reader_loop<M: WireMsg>(
             Ok(len) => len,
             Err(e) => {
                 // A bad header leaves the stream unframed: terminal.
+                // Shut the socket down (not just this fd — the accept
+                // registry holds a clone) so the peer sees the hangup
+                // now rather than at end-of-run cleanup.
                 stats.record_decode_error(e.kind);
                 stats.record_disconnect(from.index());
+                stream.shutdown(Shutdown::Both).ok();
                 tx.send(Ev::PeerGone {
                     from,
                     error: Some(e),
@@ -603,15 +796,4 @@ fn reader_loop<M: WireMsg>(
             }
         }
     }
-}
-
-fn writer_loop(mut stream: TcpStream, peer_tx: Arc<PeerTx>, stats: Arc<NetStats>, peer: usize) {
-    while let Some(frame) = peer_tx.next() {
-        stats.record_drain(peer);
-        if stream.write_all(&frame).is_err() {
-            return;
-        }
-    }
-    stream.flush().ok();
-    stream.shutdown(Shutdown::Write).ok();
 }

@@ -61,6 +61,17 @@ pub struct PeerStats {
     pub connects: AtomicU64,
     /// Inbound connections lost (EOF or terminal decode error).
     pub disconnects: AtomicU64,
+    /// Outbound connections re-established after the first epoch.
+    pub reconnects: AtomicU64,
+    /// Total milliseconds the supervisor spent backing off between
+    /// dial attempts to this peer.
+    pub backoff_ms: AtomicU64,
+    /// Priority frames put back at the front of the lane after a
+    /// mid-write connection failure.
+    pub frames_requeued: AtomicU64,
+    /// Frames dropped because the peer was disconnected and the
+    /// bounded queue was full (or the run ended with the peer down).
+    pub frames_dropped_disconnected: AtomicU64,
 }
 
 /// All socket-runtime counters for one process.
@@ -137,6 +148,65 @@ impl NetStats {
         }
     }
 
+    /// Records the supervisor re-establishing peer `i`'s connection.
+    pub fn record_reconnect(&self, i: usize) {
+        if let Some(p) = self.peers.get(i) {
+            p.reconnects.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `ms` milliseconds of backoff before redialing peer `i`.
+    pub fn record_backoff(&self, i: usize, ms: u64) {
+        if let Some(p) = self.peers.get(i) {
+            p.backoff_ms.fetch_add(ms, Ordering::Relaxed);
+        }
+    }
+
+    /// Records a priority frame requeued after a failed write to peer
+    /// `i` (the frame goes back on the queue, so depth is restored).
+    pub fn record_requeue(&self, i: usize) {
+        if let Some(p) = self.peers.get(i) {
+            p.frames_requeued.fetch_add(1, Ordering::Relaxed);
+            p.queue_depth.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Records `count` frames dropped because peer `i` was disconnected
+    /// and the bounded queue could not hold them.
+    pub fn record_dropped_disconnected(&self, i: usize, count: u64) {
+        if let Some(p) = self.peers.get(i) {
+            p.frames_dropped_disconnected
+                .fetch_add(count, Ordering::Relaxed);
+        }
+    }
+
+    /// Total outbound reconnects across all peers.
+    pub fn reconnects_total(&self) -> u64 {
+        self.sum_peers(|p| &p.reconnects)
+    }
+
+    /// Total backoff milliseconds across all peers.
+    pub fn backoff_ms_total(&self) -> u64 {
+        self.sum_peers(|p| &p.backoff_ms)
+    }
+
+    /// Total requeued priority frames across all peers.
+    pub fn frames_requeued_total(&self) -> u64 {
+        self.sum_peers(|p| &p.frames_requeued)
+    }
+
+    /// Total frames dropped while disconnected across all peers.
+    pub fn frames_dropped_disconnected_total(&self) -> u64 {
+        self.sum_peers(|p| &p.frames_dropped_disconnected)
+    }
+
+    fn sum_peers(&self, f: impl Fn(&PeerStats) -> &AtomicU64) -> u64 {
+        self.peers
+            .iter()
+            .map(|p| f(p).load(Ordering::Relaxed))
+            .sum()
+    }
+
     /// Counts a wire decode failure under its taxonomy label.
     pub fn record_decode_error(&self, kind: &str) {
         let slot = DECODE_TAXONOMY
@@ -194,6 +264,13 @@ impl NetStats {
             t.counter_store(&key("enqueue_stalls"), load(&p.enqueue_stalls));
             t.counter_store(&key("connects"), load(&p.connects));
             t.counter_store(&key("disconnects"), load(&p.disconnects));
+            t.counter_store(&key("reconnects"), load(&p.reconnects));
+            t.counter_store(&key("backoff_ms"), load(&p.backoff_ms));
+            t.counter_store(&key("frames_requeued"), load(&p.frames_requeued));
+            t.counter_store(
+                &key("frames_dropped_disconnected"),
+                load(&p.frames_dropped_disconnected),
+            );
         }
         t.counter_store("net.handshake.ok", load(&self.handshakes_ok));
         t.counter_store("net.handshake.failed", load(&self.handshakes_failed));
@@ -226,6 +303,38 @@ mod tests {
         s.record_out(99, true, 1);
         s.record_in(99, 1);
         s.record_drain(99);
+    }
+
+    #[test]
+    fn reconnect_counters_accumulate_and_total() {
+        let s = NetStats::new(4);
+        s.record_reconnect(1);
+        s.record_reconnect(1);
+        s.record_reconnect(2);
+        s.record_backoff(1, 30);
+        s.record_backoff(2, 15);
+        s.record_out(1, true, 10);
+        s.record_drain(1);
+        s.record_requeue(1);
+        s.record_dropped_disconnected(2, 3);
+        assert_eq!(s.reconnects_total(), 3);
+        assert_eq!(s.backoff_ms_total(), 45);
+        assert_eq!(s.frames_requeued_total(), 1);
+        assert_eq!(s.frames_dropped_disconnected_total(), 3);
+        // A requeue restores the queue depth the drain removed.
+        let p = s.peer(1).unwrap();
+        assert_eq!(p.queue_depth.load(Ordering::Relaxed), 1);
+        // Out-of-range peers never panic.
+        s.record_reconnect(99);
+        s.record_backoff(99, 1);
+        s.record_requeue(99);
+        s.record_dropped_disconnected(99, 1);
+
+        let t = Telemetry::new();
+        s.publish(&t);
+        let snap = t.snapshot();
+        assert_eq!(snap.counter("net.peer.1.reconnects"), Some(2));
+        assert_eq!(snap.counter("net.peer.1.frames_requeued"), Some(1));
     }
 
     #[test]

@@ -297,6 +297,173 @@ fn garbage_frame_body_is_counted_and_survived() {
     drop(from_zero);
 }
 
+/// Sends an incrementing priority token to replica 1 every 5 ms, forever
+/// — a steady write load that surfaces a dead connection quickly.
+struct Chatter {
+    sent: u32,
+}
+
+impl Node for Chatter {
+    type Msg = Tok;
+
+    fn on_start(&mut self, ctx: &mut NodeCtx<'_, Tok>) {
+        ctx.set_timer(5_000, 1);
+    }
+
+    fn on_message(&mut self, _ctx: &mut NodeCtx<'_, Tok>, _from: ReplicaId, _msg: Tok) {}
+
+    fn on_timer(&mut self, ctx: &mut NodeCtx<'_, Tok>, _tag: TimerTag) {
+        self.sent += 1;
+        ctx.send(
+            ReplicaId(1),
+            Tok {
+                value: self.sent,
+                priority: true,
+            },
+        );
+        ctx.set_timer(5_000, 1);
+    }
+}
+
+/// A peer that hangs up mid-stream is a clean disconnect, not a protocol
+/// failure: the supervisor backs off, redials with a fresh hello, and
+/// the failed priority write is requeued so traffic resumes without
+/// loss on the new epoch.
+#[test]
+fn supervisor_redials_after_peer_drops_the_connection() {
+    let addrs = free_addrs(2);
+    let fake_peer = TcpListener::bind(addrs[1]).expect("bind fake peer");
+
+    let spec = ClusterSpec::new(ReplicaId(0), addrs.clone(), 17);
+    let rt = NetRuntime::new(Chatter { sent: 0 }, spec, Telemetry::disabled());
+    let stats = rt.stats();
+    let runtime = thread::spawn(move || rt.run(1_500_000).expect("runtime run"));
+
+    // First epoch: accept replica 0's dial, complete formation by
+    // dialing back with our own hello, read one frame, then hang up.
+    let (mut conn1, _) = fake_peer.accept().expect("accept dial #1");
+    let mut hello = [0u8; 8];
+    conn1.read_exact(&mut hello).expect("read hello #1");
+    assert_eq!(&hello[..4], b"SMPH");
+    let mut to_zero = TcpStream::connect(addrs[0]).expect("dial replica 0");
+    let mut my_hello = Vec::from(*b"SMPH");
+    my_hello.extend_from_slice(&1u32.to_be_bytes());
+    to_zero.write_all(&my_hello).expect("send hello");
+
+    let mut frame = [0u8; 6];
+    conn1.read_exact(&mut frame).expect("read pre-drop frame");
+    drop(conn1);
+
+    // Second epoch: the supervisor redials — a fresh hello arrives and
+    // the token stream resumes on the new connection.
+    let (mut conn2, _) = fake_peer.accept().expect("accept redial");
+    conn2.read_exact(&mut hello).expect("read hello #2");
+    assert_eq!(&hello[..4], b"SMPH");
+    assert_eq!(
+        u32::from_be_bytes([hello[4], hello[5], hello[6], hello[7]]),
+        0
+    );
+    conn2
+        .read_exact(&mut frame)
+        .expect("read post-reconnect frame");
+    let resumed = Tok::decode(&frame, &[]).expect("post-reconnect frame decodes");
+    assert!(resumed.value >= 1);
+
+    let report = runtime.join().expect("runtime thread");
+    assert!(report.peer_errors.is_empty(), "{:?}", report.peer_errors);
+    assert!(report.frame_errors.is_empty(), "{:?}", report.frame_errors);
+    assert!(stats.reconnects_total() >= 1, "no reconnect recorded");
+    assert!(
+        stats.frames_requeued_total() >= 1,
+        "failed priority write was not requeued"
+    );
+    let peer = stats.peer(1).unwrap();
+    assert!(peer.disconnects.load(std::sync::atomic::Ordering::Relaxed) >= 1);
+    drop(to_zero);
+}
+
+/// A peer whose stream turns to garbage is dropped, but the accept loop
+/// keeps re-admitting fresh hellos: every reconnect epoch gets a clean
+/// framing state, and the decode taxonomy accumulates across epochs.
+#[test]
+fn garbage_across_reconnect_epochs_accumulates_taxonomy() {
+    let addrs = free_addrs(2);
+    let fake_peer = TcpListener::bind(addrs[1]).expect("bind fake peer");
+
+    let spec = ClusterSpec::new(ReplicaId(0), addrs.clone(), 19);
+    let rt = NetRuntime::new(Collector { seen: Vec::new() }, spec, Telemetry::disabled());
+    let stats = rt.stats();
+    let runtime = thread::spawn(move || rt.run(900_000).expect("runtime run"));
+
+    let (mut from_zero, _) = fake_peer.accept().expect("accept dial from replica 0");
+    let mut hello = [0u8; 8];
+    from_zero.read_exact(&mut hello).expect("read hello");
+
+    let dial = || {
+        // Replica 0's listener may still be coming up; retry like a
+        // real peer's supervisor would.
+        let deadline = std::time::Instant::now() + Duration::from_secs(5);
+        let mut s = loop {
+            match TcpStream::connect(addrs[0]) {
+                Ok(s) => break s,
+                Err(_) if std::time::Instant::now() < deadline => {
+                    thread::sleep(Duration::from_millis(20));
+                }
+                Err(e) => panic!("dial replica 0: {e}"),
+            }
+        };
+        let mut h = Vec::from(*b"SMPH");
+        h.extend_from_slice(&1u32.to_be_bytes());
+        s.write_all(&h).expect("send hello");
+        s
+    };
+
+    // Two epochs of terminal garbage: each kills its connection, and
+    // the runtime proves it by closing the stream on us.
+    for epoch in 0..2u8 {
+        let mut s = dial();
+        s.write_all(&[0xFF, 0, 0, 0, 0, epoch])
+            .expect("send garbage header");
+        s.flush().unwrap();
+        s.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut probe = [0u8; 1];
+        assert_eq!(
+            s.read(&mut probe).expect("peer closed the stream"),
+            0,
+            "runtime kept a connection after a terminal header"
+        );
+    }
+
+    // Third epoch: an honest frame still gets through.
+    let mut s = dial();
+    s.write_all(
+        &Tok {
+            value: 42,
+            priority: false,
+        }
+        .encode(),
+    )
+    .expect("send honest frame");
+    s.flush().unwrap();
+
+    let report = runtime.join().expect("runtime thread");
+    assert_eq!(report.node.seen, vec![42]);
+    assert_eq!(stats.decode_error_count("bad_magic"), 2);
+    assert_eq!(report.peer_errors.len(), 2, "{:?}", report.peer_errors);
+    assert!(report.peer_errors.iter().all(|e| e.contains("bad_magic")));
+    let disconnects = stats
+        .peer(1)
+        .unwrap()
+        .disconnects
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(
+        disconnects >= 2,
+        "expected >=2 disconnects, got {disconnects}"
+    );
+    drop(from_zero);
+    drop(s);
+}
+
 /// A garbage frame *header* is terminal: the stream cannot be resynced,
 /// so the connection drops and the failure lands in `peer_errors`.
 #[test]

@@ -15,11 +15,14 @@ pub mod replica;
 pub mod wire;
 
 pub use experiment::{run, saturation_sweep, ExperimentConfig, ExperimentResult};
-pub use netrun::{run_replica_over_net, sim_commit_logs, NetRunOptions, NetRunSummary};
+pub use netrun::{
+    run_replica_over_net, sim_commit_logs, sim_commit_logs_with_faults, NetRunOptions,
+    NetRunSummary,
+};
 pub use protocols::Protocol;
 pub use replica::{Behavior, Replica, ReplicaMetrics};
 pub use wire::codec::{
     decode_frame, encode_frame, DecodeError, FrameHeader, WireCodec, CODEC_VERSION,
     FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
 };
-pub use wire::{MempoolWire, ReplicaMsg, ReplicaPayload};
+pub use wire::{MempoolWire, ReplicaMsg, ReplicaPayload, SyncMsg};

@@ -66,6 +66,10 @@ pub struct NetRunOptions {
     /// cadence (µs), retaining recent metrics windows.  Implies a live
     /// telemetry sink.
     pub flight_cadence_us: Option<u64>,
+    /// Start in crash-recovery mode: the replica boots as a passive
+    /// sync observer, replays the committed sequence from its peers via
+    /// the `Sync` wire family, and never runs the engine or workload.
+    pub recover: bool,
 }
 
 impl Default for NetRunOptions {
@@ -76,6 +80,7 @@ impl Default for NetRunOptions {
             telemetry: false,
             admin_addr: None,
             flight_cadence_us: None,
+            recover: false,
         }
     }
 }
@@ -259,6 +264,9 @@ impl ProtocolVisitor for NetVisitor<'_> {
         if let Some(limit) = self.opts.tx_limit {
             replica.limit_client_txs(limit);
         }
+        if self.opts.recover {
+            replica.start_recovery();
+        }
         let spec = ClusterSpec::new(self.me, self.addrs, config.seed);
         let runtime = NetRuntime::new(replica, spec, node_telemetry.clone());
         let stats = runtime.stats();
@@ -278,6 +286,7 @@ impl ProtocolVisitor for NetVisitor<'_> {
         });
         let admin = match self.opts.admin_addr {
             Some(addr) => {
+                let net = std::sync::Arc::clone(&stats);
                 let stats = std::sync::Arc::clone(&stats);
                 let publish_to = node_telemetry.clone();
                 Some(spawn_admin(
@@ -287,6 +296,7 @@ impl ProtocolVisitor for NetVisitor<'_> {
                         telemetry: telemetry.clone(),
                         recorder: sampler.as_ref().map(FlightSampler::recorder),
                         refresh: Some(std::sync::Arc::new(move || stats.publish(&publish_to))),
+                        net: Some(net),
                     },
                 )?)
             }
@@ -353,6 +363,7 @@ struct SimVisitor<'a> {
     sys: &'a SystemConfig,
     tx_limit: Option<u64>,
     horizon_us: u64,
+    faults: simnet::FaultSchedule,
 }
 
 impl ProtocolVisitor for SimVisitor<'_> {
@@ -392,7 +403,7 @@ impl ProtocolVisitor for SimVisitor<'_> {
             .collect();
         let mut net = simnet::NetConfig::from_preset(config.network);
         net.fault_windows = config.fault_windows.clone();
-        let mut sim = Simulation::new(nodes, net, config.seed);
+        let mut sim = Simulation::new(nodes, net, config.seed).with_faults(self.faults);
         sim.run_until(self.horizon_us);
         (0..config.n)
             .map(|i| sim.node(i).commit_log().unwrap_or(&[]).to_vec())
@@ -409,6 +420,19 @@ pub fn sim_commit_logs(
     tx_limit: Option<u64>,
     horizon_us: u64,
 ) -> Vec<Vec<TxId>> {
+    sim_commit_logs_with_faults(config, tx_limit, horizon_us, simnet::FaultSchedule::new())
+}
+
+/// Like [`sim_commit_logs`], with a scripted [`simnet::FaultSchedule`]
+/// applied: crash/restart, partitions, and burst drop/delay replay
+/// deterministically against the same configuration and seed.  An empty
+/// schedule is byte-identical to [`sim_commit_logs`].
+pub fn sim_commit_logs_with_faults(
+    config: &ExperimentConfig,
+    tx_limit: Option<u64>,
+    horizon_us: u64,
+    faults: simnet::FaultSchedule,
+) -> Vec<Vec<TxId>> {
     let sys = config.system();
     dispatch(
         config,
@@ -418,6 +442,7 @@ pub fn sim_commit_logs(
             sys: &sys,
             tx_limit,
             horizon_us,
+            faults,
         },
     )
 }

@@ -1,7 +1,7 @@
 //! The replica: consensus engine + mempool + workload generation wired
 //! onto the network simulator (paper Figure 1).
 
-use crate::wire::{MempoolWire, ReplicaMsg, ReplicaPayload};
+use crate::wire::{MempoolWire, ReplicaMsg, ReplicaPayload, SyncMsg};
 use simnet::{Node, NodeCtx, ObsKind, TimerTag};
 use smp_consensus::{CDest, CEffects, CEvent, ConsensusEngine, ProposalVerdict};
 use smp_mempool::{Dest, Effects, FillStatus, Mempool, MempoolEvent};
@@ -12,11 +12,21 @@ use std::collections::{HashMap, HashSet};
 
 /// Timer tag used for the client-workload tick.
 const TICK_TAG: TimerTag = u64::MAX;
+/// Timer tag used for crash-recovery sync retries.  Like [`TICK_TAG`] it
+/// has bit 63 set, so `on_timer` must match it *before* testing
+/// [`MEMPOOL_TAG_FLAG`].
+const SYNC_TAG: TimerTag = u64::MAX - 1;
 /// Bit marking a timer as belonging to the mempool (consensus and workload
 /// tags never have it set because they are below 2^63).
 const MEMPOOL_TAG_FLAG: u64 = 1 << 63;
 /// Interval of the workload tick.
 const TICK_INTERVAL: SimTime = 5 * smp_types::MICROS_PER_MS;
+/// How often a recovering replica re-asks its peers for the committed
+/// tail it is missing.
+const SYNC_INTERVAL: SimTime = 200 * smp_types::MICROS_PER_MS;
+/// Maximum commit-log entries served in one `SyncResponse` (bounds the
+/// frame size; the requester keeps asking from its new tail).
+const SYNC_CHUNK: usize = 4_096;
 
 /// How a replica behaves.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -86,6 +96,11 @@ where
     /// artifact: a simnet run and an `smp-net` run of the same
     /// configuration must produce byte-identical logs.
     commit_log: Option<Vec<TxId>>,
+    /// Crash-recovery mode: the replica rejoined after losing its state
+    /// and is replaying the committed sequence from live peers.  While
+    /// recovering it neither votes nor proposes (crash-fault model) —
+    /// it only issues `SyncRequest`s and applies `SyncResponse`s.
+    recovering: bool,
 }
 
 impl<E, M> Replica<E, M>
@@ -121,7 +136,38 @@ where
             known_proposals: HashMap::new(),
             tx_limit: None,
             commit_log: None,
+            recovering: false,
         }
+    }
+
+    /// Marks this replica as a crash-recovery rejoin: `on_start` will
+    /// skip the consensus engine and workload and instead replay the
+    /// committed sequence from live peers via the `Sync` wire family.
+    /// Used by a freshly exec'd process rejoining an in-flight cluster.
+    pub fn start_recovery(&mut self) {
+        self.recovering = true;
+    }
+
+    /// Whether the replica is in crash-recovery mode.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
+    }
+
+    /// Epoch-style teardown for an in-process restart: abandons every
+    /// piece of volatile protocol state (pending verdicts, tracked
+    /// proposals, metrics — and the consensus/mempool rounds, which are
+    /// simply never consulted again) and re-enters as a recovering
+    /// observer with an empty commit log, exactly like a freshly exec'd
+    /// process.  This mirrors the teardown/respawn dance Narwhal-style
+    /// designs perform on an epoch change.
+    pub fn drain_and_restart(&mut self) {
+        self.pending_verdicts.clear();
+        self.known_proposals.clear();
+        self.metrics = ReplicaMetrics::default();
+        if self.commit_log.is_some() {
+            self.commit_log = Some(Vec::new());
+        }
+        self.recovering = true;
     }
 
     /// Caps the total number of client transactions this replica offers.
@@ -348,6 +394,66 @@ where
             }
         }
     }
+
+    // ----- crash-recovery sync ----------------------------------------------
+
+    /// Broadcasts a `SyncRequest` for everything past our current tail.
+    fn request_sync(&mut self, ctx: &mut NodeCtx<'_, ReplicaMsg<M::Msg>>) {
+        let from_index = self.commit_log.as_ref().map_or(0, Vec::len) as u64;
+        ctx.broadcast(ReplicaMsg::sync(SyncMsg::Request { from_index }));
+    }
+
+    fn handle_sync(
+        &mut self,
+        ctx: &mut NodeCtx<'_, ReplicaMsg<M::Msg>>,
+        from: ReplicaId,
+        msg: SyncMsg,
+    ) {
+        match msg {
+            SyncMsg::Request { from_index } => {
+                // Serve from whatever committed prefix we hold (a
+                // recovering replica may itself answer with its partial
+                // log; committed prefixes never conflict).
+                let Some(log) = self.commit_log.as_ref() else {
+                    return;
+                };
+                let from_index = from_index as usize;
+                if from_index >= log.len() {
+                    return;
+                }
+                let entries: Vec<TxId> =
+                    log[from_index..].iter().take(SYNC_CHUNK).copied().collect();
+                ctx.send(
+                    from,
+                    ReplicaMsg::sync(SyncMsg::Response {
+                        from_index: from_index as u64,
+                        entries,
+                    }),
+                );
+            }
+            SyncMsg::Response {
+                from_index,
+                entries,
+            } => {
+                if !self.recovering {
+                    return;
+                }
+                let Some(log) = self.commit_log.as_mut() else {
+                    return;
+                };
+                let from_index = from_index as usize;
+                if from_index > log.len() {
+                    // A gap: wait for a chunk that starts at our tail.
+                    return;
+                }
+                let skip = log.len() - from_index;
+                if skip >= entries.len() {
+                    return;
+                }
+                log.extend_from_slice(&entries[skip..]);
+            }
+        }
+    }
 }
 
 /// Appends every inline transaction id of `payload` to `log`, in payload
@@ -378,6 +484,7 @@ where
         match &self.payload {
             ReplicaPayload::Mempool(m) => m.is_bulk(),
             ReplicaPayload::Consensus(_) => false,
+            ReplicaPayload::Sync(s) => matches!(s, SyncMsg::Response { .. }),
         }
     }
 }
@@ -394,11 +501,26 @@ where
         if self.is_silent() {
             return;
         }
+        if self.recovering {
+            // Passive rejoin: don't boot the consensus engine or the
+            // workload — ask peers for the committed sequence instead.
+            self.request_sync(ctx);
+            ctx.set_timer(SYNC_INTERVAL, SYNC_TAG);
+            return;
+        }
         let fx = self.engine.on_start(ctx.now());
         self.apply_consensus_effects(ctx, fx);
         if self.rate_tps > 0.0 {
             ctx.set_timer(TICK_INTERVAL, TICK_TAG);
         }
+    }
+
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>) {
+        if self.is_silent() {
+            return;
+        }
+        self.drain_and_restart();
+        self.on_start(ctx);
     }
 
     fn on_message(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>, from: ReplicaId, msg: Self::Msg) {
@@ -407,6 +529,11 @@ where
         }
         let now = ctx.now();
         match msg.payload {
+            ReplicaPayload::Sync(sm) => self.handle_sync(ctx, from, sm),
+            // A recovering replica abandoned its consensus/mempool
+            // epoch: protocol traffic addressed to the old incarnation
+            // is dropped, only Sync is live.
+            _ if self.recovering => {}
             ReplicaPayload::Consensus(cm) => {
                 let span = ctx.telemetry().span_at("replica.consensus.on_message", now);
                 let fx = self.engine.on_message(now, from, cm);
@@ -427,6 +554,19 @@ where
             return;
         }
         let now = ctx.now();
+        // SYNC_TAG has bit 63 set, so it must be matched before the
+        // MEMPOOL_TAG_FLAG test below.
+        if tag == SYNC_TAG {
+            if self.recovering {
+                self.request_sync(ctx);
+                ctx.set_timer(SYNC_INTERVAL, SYNC_TAG);
+            }
+            return;
+        }
+        if self.recovering {
+            // Timers armed by the abandoned pre-crash epoch.
+            return;
+        }
         if tag == TICK_TAG {
             let mut txs = self.factory.tick(now, TICK_INTERVAL, self.rate_tps);
             if let Some(limit) = self.tx_limit {

@@ -13,7 +13,7 @@ use simnet::SimMessage;
 use smp_consensus::ConsensusMsg;
 use smp_mempool::{NarwhalMsg, NativeMsg, SmpMsg};
 use smp_shard::ShardedMsg;
-use smp_types::WireSize;
+use smp_types::{TxId, WireSize};
 use stratus::StratusMsg;
 
 /// Mempool message types routable by a replica.
@@ -126,13 +126,39 @@ pub struct ReplicaMsg<MM> {
     pub priority: bool,
 }
 
-/// The two message families a replica routes.
+/// The message families a replica routes.
 #[derive(Clone, Debug)]
 pub enum ReplicaPayload<MM> {
     /// Consensus-engine message.
     Consensus(ConsensusMsg),
     /// Mempool message.
     Mempool(MM),
+    /// Crash-recovery state transfer.
+    Sync(SyncMsg),
+}
+
+/// Crash-recovery state transfer: a restarted replica replays the
+/// committed sequence from its live peers.
+///
+/// The protocol is deliberately minimal — crash faults only.  The
+/// requester asks for the committed log from the first index it does
+/// not hold; any peer with a commit log answers with a bounded chunk of
+/// the tail.  Responses from different peers are safe to interleave
+/// because committed prefixes never conflict under BFT safety.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SyncMsg {
+    /// "Send me the committed sequence starting at `from_index`."
+    Request {
+        /// First log index the requester is missing.
+        from_index: u64,
+    },
+    /// A chunk of the committed sequence starting at `from_index`.
+    Response {
+        /// Index of the first entry in `entries`.
+        from_index: u64,
+        /// Committed transaction ids, in commit order.
+        entries: Vec<TxId>,
+    },
 }
 
 impl<MM: MempoolWire> ReplicaMsg<MM> {
@@ -151,6 +177,16 @@ impl<MM: MempoolWire> ReplicaMsg<MM> {
             priority,
         }
     }
+
+    /// Wraps a recovery message.  Requests ride the priority lane (they
+    /// are tiny and latency-bound); responses are bulk data.
+    pub fn sync(msg: SyncMsg) -> Self {
+        let priority = matches!(msg, SyncMsg::Request { .. });
+        ReplicaMsg {
+            payload: ReplicaPayload::Sync(msg),
+            priority,
+        }
+    }
 }
 
 impl<MM: MempoolWire> SimMessage for ReplicaMsg<MM> {
@@ -158,6 +194,10 @@ impl<MM: MempoolWire> SimMessage for ReplicaMsg<MM> {
         match &self.payload {
             ReplicaPayload::Consensus(c) => c.wire_size(),
             ReplicaPayload::Mempool(m) => m.wire_size(),
+            ReplicaPayload::Sync(s) => match s {
+                SyncMsg::Request { .. } => 12,
+                SyncMsg::Response { entries, .. } => 16 + 32 * entries.len(),
+            },
         }
     }
 
@@ -168,6 +208,7 @@ impl<MM: MempoolWire> SimMessage for ReplicaMsg<MM> {
                 _ => "vote",
             },
             ReplicaPayload::Mempool(m) => m.kind(),
+            ReplicaPayload::Sync(_) => "sync",
         }
     }
 
@@ -182,6 +223,11 @@ impl<MM: MempoolWire> SimMessage for ReplicaMsg<MM> {
                 _ => 25.0,
             },
             ReplicaPayload::Mempool(m) => m.cpu_cost_us(),
+            ReplicaPayload::Sync(s) => match s {
+                SyncMsg::Request { .. } => 5.0,
+                // Appending ids to a log: cheap per entry.
+                SyncMsg::Response { entries, .. } => 5.0 + 0.2 * entries.len() as f64,
+            },
         }
     }
 

@@ -14,7 +14,7 @@
 //! [4]      version (currently 1)
 //! [5]      flags   (bit 0 = high-priority lane; other bits must be 0)
 //! [6..10)  body length, u32 big-endian (bounded by MAX_FRAME_BYTES)
-//! [10..]   body: family tag (0 = consensus, 1 = mempool) + payload
+//! [10..]   body: family tag (0 = consensus, 1 = mempool, 2 = sync) + payload
 //! ```
 //!
 //! All multi-byte integers are big-endian.  Collections are a `u32` count
@@ -29,7 +29,7 @@
 //! the encoded contents, so a peer cannot claim an id its bytes do not
 //! hash to.
 
-use crate::wire::{MempoolWire, ReplicaMsg, ReplicaPayload};
+use crate::wire::{MempoolWire, ReplicaMsg, ReplicaPayload, SyncMsg};
 use bytes::Bytes;
 use smp_consensus::ConsensusMsg;
 use smp_crypto::{Digest, QuorumProof, Signature};
@@ -874,6 +874,52 @@ impl<M: WireCodec> WireCodec for ShardedMsg<M> {
     }
 }
 
+impl WireCodec for SyncMsg {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            SyncMsg::Request { from_index } => {
+                buf.push(0);
+                put_u64(buf, *from_index);
+            }
+            SyncMsg::Response {
+                from_index,
+                entries,
+            } => {
+                buf.push(1);
+                put_u64(buf, *from_index);
+                put_u32(buf, entries.len() as u32);
+                for id in entries {
+                    put_digest(buf, &id.0);
+                }
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(SyncMsg::Request {
+                from_index: r.u64()?,
+            }),
+            1 => {
+                let from_index = r.u64()?;
+                let n = r.count(32)?;
+                let mut entries = Vec::with_capacity(n);
+                for _ in 0..n {
+                    entries.push(TxId(r.digest()?));
+                }
+                Ok(SyncMsg::Response {
+                    from_index,
+                    entries,
+                })
+            }
+            tag => Err(DecodeError::BadTag {
+                context: "SyncMsg",
+                tag,
+            }),
+        }
+    }
+}
+
 // ---------------------------------------------------------------------
 // Frame encode / decode.
 // ---------------------------------------------------------------------
@@ -892,6 +938,10 @@ where
         ReplicaPayload::Mempool(m) => {
             body.push(1);
             m.encode_into(&mut body);
+        }
+        ReplicaPayload::Sync(s) => {
+            body.push(2);
+            s.encode_into(&mut body);
         }
     }
     let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + body.len());
@@ -952,6 +1002,7 @@ where
     let payload = match r.u8()? {
         0 => ReplicaPayload::Consensus(ConsensusMsg::decode_from(&mut r)?),
         1 => ReplicaPayload::Mempool(MM::decode_from(&mut r)?),
+        2 => ReplicaPayload::Sync(SyncMsg::decode_from(&mut r)?),
         tag => {
             return Err(DecodeError::BadTag {
                 context: "ReplicaPayload",

@@ -20,7 +20,7 @@ use smp_replica::wire::codec::{
     decode_frame, encode_frame, DecodeError, WireCodec, CODEC_VERSION, FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,
 };
-use smp_replica::{MempoolWire, ReplicaMsg, ReplicaPayload};
+use smp_replica::{MempoolWire, ReplicaMsg, ReplicaPayload, SyncMsg};
 use smp_shard::ShardedMsg;
 use smp_types::{
     BlockId, ClientId, Microblock, MicroblockId, MicroblockRef, Payload, Proposal, ReplicaId,
@@ -258,8 +258,23 @@ where
     match (&back.payload, &msg.payload) {
         (ReplicaPayload::Consensus(a), ReplicaPayload::Consensus(b)) => assert_eq!(a, b),
         (ReplicaPayload::Mempool(a), ReplicaPayload::Mempool(b)) => assert!(a == b),
+        (ReplicaPayload::Sync(a), ReplicaPayload::Sync(b)) => assert_eq!(a, b),
         _ => panic!("message family changed in round trip"),
     }
+}
+
+/// Crash-recovery state-transfer messages: requests and bounded chunks
+/// of committed transaction ids.
+fn arb_sync() -> impl Strategy<Value = SyncMsg> {
+    prop_oneof![
+        any::<u64>().prop_map(|from_index| SyncMsg::Request { from_index }),
+        (any::<u64>(), vec(arb_digest().prop_map(TxId), 0..32)).prop_map(
+            |(from_index, entries)| SyncMsg::Response {
+                from_index,
+                entries,
+            }
+        ),
+    ]
 }
 
 // ---------------------------------------------------------------------
@@ -304,6 +319,19 @@ proptest! {
     ) {
         assert_round_trip(&msg);
     }
+
+    // The `Sync` family is mempool-agnostic: the same recovery message
+    // must round-trip under every wire parameterization, and requests
+    // must keep their priority-lane flag through the codec.
+    #[test]
+    fn sync_frames_round_trip_under_every_family(msg in arb_sync()) {
+        assert_round_trip(&ReplicaMsg::<NativeMsg>::sync(msg.clone()));
+        assert_round_trip(&ReplicaMsg::<SmpMsg>::sync(msg.clone()));
+        assert_round_trip(&ReplicaMsg::<StratusMsg>::sync(msg.clone()));
+        let frame = encode_frame(&ReplicaMsg::<StratusMsg>::sync(msg.clone()));
+        let (back, _) = decode_frame::<StratusMsg>(&frame).expect("sync frame decodes");
+        prop_assert_eq!(back.priority, matches!(msg, SyncMsg::Request { .. }));
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -316,6 +344,35 @@ proptest! {
     fn garbage_never_panics(input in vec(any::<u8>(), 0..512)) {
         let _ = decode_frame::<StratusMsg>(&input);
         let _ = decode_frame::<ShardedMsg<StratusMsg>>(&input);
+    }
+
+    // Corrupting any byte of a sync frame either still decodes or
+    // errors — recovery traffic from a byzantine peer never panics the
+    // decoder, and truncated chunks are rejected as such.
+    #[test]
+    fn corrupted_sync_frames_never_panic(
+        msg in arb_sync(),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut frame = encode_frame(&ReplicaMsg::<StratusMsg>::sync(msg));
+        let pos = ((frame.len() as f64) * pos_frac) as usize % frame.len();
+        frame[pos] ^= flip;
+        let _ = decode_frame::<StratusMsg>(&frame);
+    }
+
+    #[test]
+    fn truncated_sync_frames_are_rejected(
+        msg in arb_sync(),
+        frac in 0.0f64..1.0,
+    ) {
+        let frame = encode_frame(&ReplicaMsg::<StratusMsg>::sync(msg));
+        let cut = ((frame.len() as f64) * frac) as usize;
+        prop_assume!(cut < frame.len());
+        prop_assert!(matches!(
+            decode_frame::<StratusMsg>(&frame[..cut]),
+            Err(DecodeError::Truncated { .. })
+        ));
     }
 
     // Any strict prefix of a valid frame is `Truncated` — never a panic,

@@ -122,6 +122,7 @@ fn instrumented_cluster_commits_identical_sequence() {
                 telemetry: true,
                 admin_addr: Some(admin_addrs[i]),
                 flight_cadence_us: Some(100_000),
+                ..NetRunOptions::default()
             };
             thread::spawn(move || {
                 run_replica_over_net(&config, ReplicaId(i as u32), addrs, &opts)

@@ -58,6 +58,7 @@
 pub mod context;
 pub mod driver;
 pub mod event;
+pub mod faults;
 pub mod link;
 pub mod message;
 pub mod netmodel;
@@ -67,6 +68,7 @@ pub mod runner;
 pub use context::{NodeCtx, TimerHandle, TimerTag};
 pub use driver::{node_rng_seed, NodeAction, NodeDriver};
 pub use event::{Event, EventKind};
+pub use faults::{FaultAction, FaultSchedule};
 pub use link::{OutboundLink, Priority};
 pub use message::SimMessage;
 pub use netmodel::{FaultWindow, NetConfig};

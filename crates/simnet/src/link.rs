@@ -101,6 +101,17 @@ impl<M> OutboundLink<M> {
         self.high.len() + self.normal.len()
     }
 
+    /// Discards every queued (not yet transmitting) message, returning
+    /// how many were lost.  A message already serializing is untouched:
+    /// it is on the wire and its `LinkFree` completion still fires.
+    /// Used by the fault plane when a node crashes.
+    pub fn clear_queue(&mut self) -> usize {
+        let lost = self.high.len() + self.normal.len();
+        self.high.clear();
+        self.normal.clear();
+        lost
+    }
+
     /// Bytes waiting in the queue (excluding the in-flight message).
     pub fn queued_bytes(&self) -> usize {
         self.high

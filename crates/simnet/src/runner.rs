@@ -2,12 +2,13 @@
 
 use crate::context::{Action, NodeCtx, TimerTag};
 use crate::event::{EventKind, EventQueue};
+use crate::faults::{FaultAction, FaultSchedule};
 use crate::link::{OutboundLink, Priority, QueuedMessage};
 use crate::message::SimMessage;
 use crate::netmodel::NetConfig;
 use crate::observation::{Observation, ObservationLog};
 use rand::rngs::SmallRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 use smp_telemetry::Telemetry;
 use smp_types::{ReplicaId, SimTime};
 use std::collections::{HashMap, HashSet};
@@ -32,6 +33,13 @@ pub trait Node {
 
     /// Called when a timer set through the context fires.
     fn on_timer(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>, tag: TimerTag);
+
+    /// Called when the fault plane resurrects the node after a scripted
+    /// crash (see [`FaultAction::Restart`](crate::FaultAction::Restart)).
+    /// The default boots it like a fresh process.
+    fn on_restart(&mut self, ctx: &mut NodeCtx<'_, Self::Msg>) {
+        self.on_start(ctx);
+    }
 }
 
 /// Per-(node, message-kind) byte and message counters.
@@ -107,6 +115,21 @@ pub struct Simulation<N: Node> {
     action_buf: Vec<Action<N::Msg>>,
     telemetry: Telemetry,
     node_telemetry: Vec<Telemetry>,
+    // --- fault plane (inert while `faults` is empty) ---
+    seed: u64,
+    faults: Vec<(SimTime, FaultAction)>,
+    fault_idx: usize,
+    /// Jitter source for delay bursts.  Deliberately separate from the
+    /// per-node RNGs so scripting faults never perturbs node streams.
+    fault_rng: SmallRng,
+    crashed: HashSet<usize>,
+    incarnation: Vec<u32>,
+    /// Current partition island (empty = fully connected).
+    island: HashSet<usize>,
+    drop_until: SimTime,
+    delay_until: SimTime,
+    delay_min_us: SimTime,
+    delay_max_us: SimTime,
 }
 
 impl<N: Node> Simulation<N> {
@@ -134,7 +157,27 @@ impl<N: Node> Simulation<N> {
             action_buf: Vec::new(),
             telemetry: Telemetry::disabled(),
             node_telemetry: vec![Telemetry::disabled(); n],
+            seed,
+            faults: Vec::new(),
+            fault_idx: 0,
+            fault_rng: SmallRng::seed_from_u64(seed ^ 0xFAB1_7C0D_E5EE_D000),
+            crashed: HashSet::new(),
+            incarnation: vec![0; n],
+            island: HashSet::new(),
+            drop_until: 0,
+            delay_until: 0,
+            delay_min_us: 0,
+            delay_max_us: 0,
         }
+    }
+
+    /// Attaches a scripted fault schedule.  An empty schedule leaves the
+    /// simulation byte-identical to one built without this call: faults
+    /// draw jitter from a dedicated RNG and add no events of their own.
+    pub fn with_faults(mut self, schedule: FaultSchedule) -> Self {
+        self.faults = schedule.into_sorted();
+        self.fault_idx = 0;
+        self
     }
 
     /// Attaches a telemetry sink.  The simulation records spans around
@@ -218,6 +261,10 @@ impl<N: Node> Simulation<N> {
 
     /// Runs the simulation until simulated time `until` (inclusive of
     /// events scheduled exactly at `until`).
+    ///
+    /// Scheduled faults interleave deterministically with events: every
+    /// fault due at or before the next event's time fires first (and
+    /// among faults, in schedule order).
     pub fn run_until(&mut self, until: SimTime) {
         if !self.started {
             self.started = true;
@@ -225,28 +272,58 @@ impl<N: Node> Simulation<N> {
                 self.invoke(i, Invocation::Start);
             }
         }
-        while let Some(t) = self.queue.peek_time() {
+        loop {
+            let next_event = self.queue.peek_time();
+            let next_fault = self.faults.get(self.fault_idx).map(|(t, _)| *t);
+            let (t, is_fault) = match (next_event, next_fault) {
+                (None, None) => break,
+                (Some(e), None) => (e, false),
+                (None, Some(f)) => (f, true),
+                (Some(e), Some(f)) => {
+                    if f <= e {
+                        (f, true)
+                    } else {
+                        (e, false)
+                    }
+                }
+            };
             if t > until {
                 break;
             }
+            self.now = t;
+            if is_fault {
+                let action = self.faults[self.fault_idx].1.clone();
+                self.fault_idx += 1;
+                self.apply_fault(action);
+                continue;
+            }
             let event = self.queue.pop().expect("peeked event must exist");
-            self.now = event.time;
             self.events_processed += 1;
             match event.kind {
                 EventKind::Deliver { to, from, msg } => {
+                    let Some(msg) = self.fault_filter(to, from, msg) else {
+                        continue;
+                    };
                     let _span = self.telemetry.span_at("simnet.deliver", self.now);
-                    self.handle_delivery(to, from, msg);
+                    self.handle_delivery(to, from, msg)
                 }
                 EventKind::Timer {
                     node,
                     timer_id,
                     tag,
+                    epoch,
                 } => {
                     if self.cancelled_timers.remove(&timer_id) {
                         continue;
                     }
+                    let idx = node.index();
+                    // A crashed node's timers never fire; a timer set by
+                    // a previous incarnation is dead on arrival.
+                    if self.crashed.contains(&idx) || epoch != self.incarnation[idx] {
+                        continue;
+                    }
                     let _span = self.telemetry.span_at("simnet.timer", self.now);
-                    self.invoke(node.index(), Invocation::Timer(tag));
+                    self.invoke(idx, Invocation::Timer(tag));
                 }
                 EventKind::LinkFree { node } => {
                     let _span = self.telemetry.span_at("simnet.link_free", self.now);
@@ -262,6 +339,103 @@ impl<N: Node> Simulation<N> {
     pub fn run_for(&mut self, duration: SimTime) {
         let until = self.now.saturating_add(duration);
         self.run_until(until);
+    }
+
+    /// Applies one scripted fault at the current simulated time.
+    fn apply_fault(&mut self, action: FaultAction) {
+        match action {
+            FaultAction::Crash(id) => {
+                let idx = id.index();
+                if self.crashed.insert(idx) {
+                    // Queued outbound messages die with the process; one
+                    // already serializing is on the wire and survives.
+                    self.links[idx].clear_queue();
+                    self.telemetry.instant_at("simnet.fault.crash", self.now);
+                }
+            }
+            FaultAction::Restart(id) => {
+                let idx = id.index();
+                if self.crashed.remove(&idx) {
+                    // A fresh incarnation: old timers are dead, the RNG
+                    // restarts exactly as a re-exec'd process's would,
+                    // and the node's restart hook runs.
+                    self.incarnation[idx] += 1;
+                    self.rngs[idx] = SmallRng::seed_from_u64(
+                        self.seed.wrapping_mul(0x9E37_79B9).wrapping_add(idx as u64),
+                    );
+                    self.cpu_free[idx] = self.now;
+                    self.telemetry.instant_at("simnet.fault.restart", self.now);
+                    self.invoke(idx, Invocation::Restart);
+                }
+            }
+            FaultAction::Partition(island) => {
+                self.island = island.iter().map(|r| r.index()).collect();
+                self.telemetry
+                    .instant_at("simnet.fault.partition", self.now);
+            }
+            FaultAction::Heal => {
+                self.island.clear();
+                self.telemetry.instant_at("simnet.fault.heal", self.now);
+            }
+            FaultAction::DropBurst { duration } => {
+                self.drop_until = self.now.saturating_add(duration);
+                self.telemetry
+                    .instant_at("simnet.fault.drop_burst", self.now);
+            }
+            FaultAction::DelayBurst {
+                duration,
+                min_us,
+                max_us,
+            } => {
+                self.delay_until = self.now.saturating_add(duration);
+                self.delay_min_us = min_us;
+                self.delay_max_us = max_us.max(min_us);
+                self.telemetry
+                    .instant_at("simnet.fault.delay_burst", self.now);
+            }
+        }
+    }
+
+    /// Routes a delivery through the active faults.  Returns the message
+    /// when it should proceed; `None` when it was dropped or deferred.
+    fn fault_filter(
+        &mut self,
+        to: ReplicaId,
+        from: Option<ReplicaId>,
+        msg: N::Msg,
+    ) -> Option<N::Msg> {
+        let idx = to.index();
+        if self.crashed.contains(&idx) {
+            // Dropped at the dead NIC — client input included.
+            return None;
+        }
+        let Some(from_id) = from else {
+            // Client input is otherwise exempt from network faults.
+            return Some(msg);
+        };
+        if !self.island.is_empty()
+            && self.island.contains(&from_id.index()) != self.island.contains(&idx)
+        {
+            return None; // crosses the partition cut
+        }
+        if self.now < self.drop_until {
+            return None;
+        }
+        if self.now < self.delay_until {
+            let extra = self
+                .fault_rng
+                .gen_range(self.delay_min_us..=self.delay_max_us)
+                .max(1);
+            self.queue
+                .push(self.now + extra, EventKind::Deliver { to, from, msg });
+            return None;
+        }
+        Some(msg)
+    }
+
+    /// Whether node `i` is currently crashed by the fault plane.
+    pub fn is_crashed(&self, i: usize) -> bool {
+        self.crashed.contains(&i)
     }
 
     fn handle_delivery(&mut self, to: ReplicaId, from: Option<ReplicaId>, msg: N::Msg) {
@@ -298,6 +472,7 @@ impl<N: Node> Simulation<N> {
             let node = &mut self.nodes[idx];
             match invocation {
                 Invocation::Start => node.on_start(&mut ctx),
+                Invocation::Restart => node.on_restart(&mut ctx),
                 Invocation::Message(from, msg) => node.on_message(&mut ctx, from, msg),
                 Invocation::Client(msg) => node.on_client_input(&mut ctx, msg),
                 Invocation::Timer(tag) => node.on_timer(&mut ctx, tag),
@@ -320,6 +495,7 @@ impl<N: Node> Simulation<N> {
                         node: sender,
                         timer_id,
                         tag,
+                        epoch: self.incarnation[sender.index()],
                     },
                 );
             }
@@ -397,6 +573,7 @@ impl<N: Node> Simulation<N> {
 
 enum Invocation<M> {
     Start,
+    Restart,
     Message(ReplicaId, M),
     Client(M),
     Timer(TimerTag),
@@ -622,5 +799,152 @@ mod tests {
         let mut sim = two_nodes(false);
         sim.run_until(123_456);
         assert_eq!(sim.now(), 123_456);
+    }
+
+    #[test]
+    fn empty_fault_schedule_is_byte_identical() {
+        let run = |faulted: bool| {
+            let mut sim = two_nodes(true);
+            if faulted {
+                sim = sim.with_faults(FaultSchedule::new());
+            }
+            sim.run_until(MICROS_PER_MS * 200);
+            sim.node(1).received.clone()
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn deliveries_to_a_crashed_node_are_dropped() {
+        let mut sim = two_nodes(true)
+            .with_faults(FaultSchedule::new().at(1, FaultAction::Crash(ReplicaId(1))));
+        sim.run_until(MICROS_PER_MS * 200);
+        assert!(sim.is_crashed(1));
+        assert!(sim.node(1).received.is_empty());
+    }
+
+    #[test]
+    fn partition_severs_cross_island_links_until_heal() {
+        // The echo at t=0 crosses the cut and dies; after Heal a second
+        // client-injected round trip would flow again — here we assert
+        // the cut itself plus that client input is exempt.
+        let mut sim = two_nodes(true).with_faults(
+            FaultSchedule::new()
+                .at(1, FaultAction::Partition(vec![ReplicaId(1)]))
+                .at(MICROS_PER_MS * 100, FaultAction::Heal),
+        );
+        sim.schedule_client_input(10_000, ReplicaId(1), TestMsg::Small(9));
+        sim.run_until(MICROS_PER_MS * 200);
+        let kinds: Vec<_> = sim.node(1).received.iter().map(|(_, _, k)| *k).collect();
+        assert_eq!(kinds, vec!["small"], "only the client input survives");
+    }
+
+    #[test]
+    fn drop_burst_swallows_peer_deliveries_in_window() {
+        let mut sim = two_nodes(true).with_faults(FaultSchedule::new().at(
+            1,
+            FaultAction::DropBurst {
+                duration: MICROS_PER_MS * 100,
+            },
+        ));
+        sim.run_until(MICROS_PER_MS * 200);
+        assert!(sim.node(1).received.is_empty());
+    }
+
+    #[test]
+    fn delay_burst_defers_deliveries_deterministically() {
+        let run = || {
+            let mut sim = two_nodes(true).with_faults(FaultSchedule::new().at(
+                1,
+                FaultAction::DelayBurst {
+                    duration: MICROS_PER_MS * 100,
+                    min_us: 10_000,
+                    max_us: 10_000,
+                },
+            ));
+            sim.run_until(MICROS_PER_MS * 200);
+            sim.node(1).received.clone()
+        };
+        let rec = run();
+        assert_eq!(rec.len(), 1);
+        // Normal arrival is 50-52 ms, well inside the 100 ms window; the
+        // burst keeps deferring the delivery in 10 ms hops until it
+        // lands past the window's end.
+        assert!(
+            (100_000..=115_000).contains(&rec[0].0),
+            "arrival at {}",
+            rec[0].0
+        );
+        assert_eq!(rec, run(), "burst jitter must replay identically");
+    }
+
+    #[test]
+    fn restart_skips_stale_timers_and_reboots_the_node() {
+        /// Sets two timers at every boot, tagged by incarnation.
+        struct Phoenix {
+            starts: u64,
+            fired: Vec<TimerTag>,
+        }
+        impl Node for Phoenix {
+            type Msg = TestMsg;
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_, TestMsg>) {
+                ctx.set_timer(5_000, self.starts * 10);
+                ctx.set_timer(12_000, self.starts * 10 + 1);
+                self.starts += 1;
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_, TestMsg>, _: ReplicaId, _: TestMsg) {}
+            fn on_timer(&mut self, _: &mut NodeCtx<'_, TestMsg>, tag: TimerTag) {
+                self.fired.push(tag);
+            }
+        }
+        let nodes = vec![Phoenix {
+            starts: 0,
+            fired: Vec::new(),
+        }];
+        let mut sim = Simulation::new(nodes, NetConfig::lan(), 1).with_faults(
+            FaultSchedule::new()
+                .at(2_000, FaultAction::Crash(ReplicaId(0)))
+                .at(10_000, FaultAction::Restart(ReplicaId(0))),
+        );
+        sim.run_until(30_000);
+        // Boot-0 timers: one fires at 5 ms (crashed — dropped), one at
+        // 12 ms (after restart, but stale epoch — dropped).  Boot-1
+        // timers (default `on_restart` reboots via `on_start`) both fire.
+        assert_eq!(sim.node(0).starts, 2);
+        assert_eq!(sim.node(0).fired, vec![10, 11]);
+        assert!(!sim.is_crashed(0));
+    }
+
+    #[test]
+    fn crash_loses_queued_outbound_but_not_in_flight() {
+        // Node 0 queues Big then Small at start: Big starts serializing
+        // immediately (on the wire, ~100 ms), Small sits in the link
+        // queue behind it.  A crash at 1 ms clears the queue, so only
+        // the in-flight Big arrives.
+        struct Sender {
+            received: Vec<&'static str>,
+        }
+        impl Node for Sender {
+            type Msg = TestMsg;
+            fn on_start(&mut self, ctx: &mut NodeCtx<'_, TestMsg>) {
+                if ctx.id() == ReplicaId(0) {
+                    ctx.send(ReplicaId(1), TestMsg::Big);
+                    ctx.send(ReplicaId(1), TestMsg::Small(1));
+                }
+            }
+            fn on_message(&mut self, _: &mut NodeCtx<'_, TestMsg>, _: ReplicaId, msg: TestMsg) {
+                self.received.push(msg.kind());
+            }
+            fn on_timer(&mut self, _: &mut NodeCtx<'_, TestMsg>, _: TimerTag) {}
+        }
+        let nodes = (0..2)
+            .map(|_| Sender {
+                received: Vec::new(),
+            })
+            .collect();
+        let mut sim = Simulation::new(nodes, NetConfig::wan(), 7)
+            .with_faults(FaultSchedule::new().at(MICROS_PER_MS, FaultAction::Crash(ReplicaId(0))));
+        sim.run_until(MICROS_PER_MS * 400);
+        assert_eq!(sim.node(1).received, vec!["big"]);
     }
 }
