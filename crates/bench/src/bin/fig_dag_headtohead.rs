@@ -1,0 +1,60 @@
+//! DAG head-to-head: the Table-II-style comparison the paper never ran —
+//! the Mysticeti-style DAG mempool (D-HS certified, D-HS-F fast path)
+//! against Narwhal reliable broadcast, Stratus (S-HS), and the native
+//! baseline (N-HS), on the LAN and WAN presets.
+//!
+//! Where Narwhal pays `O(n²)` echo/ready messages per batch and S-HS
+//! pays a separate ack round, the DAG pays one block broadcast per batch
+//! with acks piggybacked — the interesting question is how much of that
+//! message-complexity win survives contention and WAN latency.
+//!
+//! `--quick` / `--full`; `--sizes 4,8` overrides the replica grid;
+//! `--bench-out <dir>` records a schema-v2 artifact for `bench_gate`.
+
+use smp_bench::{arg_value, header, print_point, rate_grid, saturated, BenchRecorder, Scale};
+use smp_replica::{ExperimentConfig, Protocol};
+use smp_types::MICROS_PER_SEC;
+
+fn main() {
+    let scale = Scale::from_args();
+    header("DAG head-to-head — D-HS vs N-HS vs S-HS", scale);
+    let mut rec = BenchRecorder::from_args("fig_dag_headtohead", scale);
+
+    let sizes: Vec<usize> = match arg_value("--sizes") {
+        Some(list) => list
+            .split(',')
+            .map(|s| s.trim().parse().expect("--sizes takes replica counts"))
+            .collect(),
+        None => scale.pick(vec![4, 8], vec![8, 16, 32]),
+    };
+    let protocols = [
+        Protocol::DagHotStuff,
+        Protocol::DagHotStuffFast,
+        Protocol::Narwhal,
+        Protocol::StratusHotStuff,
+        Protocol::NativeHotStuff,
+    ];
+
+    for wan in [false, true] {
+        let net = if wan { "wan" } else { "lan" };
+        let rates = rate_grid(scale, wan);
+        for &n in &sizes {
+            println!("\n--- {} n = {n} ---", net.to_uppercase());
+            for protocol in protocols {
+                let mut cfg = ExperimentConfig::new(protocol, n, rates[0])
+                    .with_duration(MICROS_PER_SEC, scale.pick(3, 5) * MICROS_PER_SEC);
+                if wan {
+                    cfg = cfg.wan();
+                }
+                let best = saturated(&cfg, &rates);
+                print_point("n", n, &best);
+                rec.result(&format!("{net}/n={n}/{}", best.summary.label), &best);
+            }
+        }
+    }
+    rec.finish();
+    println!("\nExpected shape: D-HS tracks or beats Narwhal (same certificates, O(n) instead");
+    println!("of O(n^2) messages per batch); D-HS-F trades the certificate for one fewer hop");
+    println!("and leads on LAN latency; S-HS stays the throughput reference; N-HS trails as");
+    println!("proposals carry full transaction data.");
+}

@@ -82,19 +82,16 @@ impl FetchRetryState {
         );
         let tag = self.next_tag;
         self.next_tag += 1;
+        let target = candidates[0];
         let entry = FetchEntry {
             ids: ids.clone(),
-            candidates: candidates.clone(),
+            candidates,
             next_candidate: 1,
             attempts: 1,
         };
         self.entries.insert(tag, entry);
         self.issued += 1;
-        FetchAction {
-            target: candidates[0],
-            ids,
-            tag,
-        }
+        FetchAction { target, ids, tag }
     }
 
     /// Handles a retry timer.  Returns the next action if some of the ids

@@ -13,6 +13,8 @@
 //!   (SMP-HS-G).
 //! * [`NarwhalMempool`] — reliable-broadcast dissemination with
 //!   availability certificates (the Narwhal baseline).
+//! * [`DagMempool`] — Mysticeti-style DAG dissemination where acks and
+//!   votes piggyback on the blocks themselves (D-HS / D-HS-F).
 //!
 //! The paper's own contribution — Stratus, with provably available
 //! broadcast and distributed load balancing — lives in the `stratus`
@@ -20,6 +22,7 @@
 
 pub mod api;
 pub mod batcher;
+pub mod dag;
 pub mod fetcher;
 pub mod gossip;
 pub mod messages;
@@ -32,6 +35,7 @@ pub use api::{
     Dest, Effects, FillStatus, LoadSnapshot, Mempool, MempoolEvent, MempoolStats, TimerTag,
 };
 pub use batcher::{BatchOutcome, TxBatcher, BATCH_TIMEOUT_TAG};
+pub use dag::{DagAck, DagBlock, DagMempool, DagMsg, DagParentRef};
 pub use fetcher::{FetchAction, FetchRetryState, FETCH_TAG_BASE};
 pub use gossip::GossipSmp;
 pub use messages::{NarwhalMsg, SmpMsg};

@@ -8,12 +8,12 @@ use crate::replica::{Behavior, Replica};
 use crate::wire::MempoolWire;
 use simnet::{FaultWindow, NetConfig, Node, Simulation, Telemetry};
 use smp_consensus::{ConsensusEngine, HotStuffEngine, MirBftEngine, PbftEngine, StreamletEngine};
-use smp_mempool::{GossipSmp, Mempool, NarwhalMempool, NativeMempool, SimpleSmp};
+use smp_mempool::{DagMempool, GossipSmp, Mempool, NarwhalMempool, NativeMempool, SimpleSmp};
 use smp_metrics::{bytes_to_mbps, BandwidthBreakdown, RoleBandwidth, RunSummary};
 use smp_shard::ShardedMempool;
 use smp_types::{
-    ExecutorKind, MempoolConfig, NetworkPreset, ReplicaId, SimTime, SystemConfig, MICROS_PER_MS,
-    MICROS_PER_SEC,
+    DagMode, ExecutorKind, MempoolConfig, NetworkPreset, ReplicaId, SimTime, SystemConfig,
+    MICROS_PER_MS, MICROS_PER_SEC,
 };
 use smp_workload::{LoadDistribution, WorkloadSpec};
 use stratus::{DlbConfig, StratusConfig, StratusMempool};
@@ -67,6 +67,10 @@ pub struct ExperimentConfig {
     /// registry + span tracer, exposed on [`ExperimentResult::telemetry`]).
     /// Off by default; results are byte-identical either way.
     pub telemetry: bool,
+    /// Commit-derivation mode for the DAG mempool protocols (ignored by
+    /// every other backend).  `DagHotStuffFast` forces the fast path
+    /// regardless of this knob.
+    pub dag_mode: DagMode,
 }
 
 impl ExperimentConfig {
@@ -95,7 +99,14 @@ impl ExperimentConfig {
             // under both executors; explicit `with_executor` overrides.
             executor: ExecutorKind::from_env(),
             telemetry: false,
+            dag_mode: DagMode::default(),
         }
+    }
+
+    /// Sets the DAG mempool commit-derivation mode.
+    pub fn with_dag_mode(mut self, mode: DagMode) -> Self {
+        self.dag_mode = mode;
+        self
     }
 
     /// Enables (or disables) the telemetry sink for this run.
@@ -190,7 +201,10 @@ impl ExperimentConfig {
             ..MempoolConfig::default()
         };
         sys.view_change_timeout = self.view_timeout;
-        sys = sys.with_shards(self.shards).with_executor(self.executor);
+        sys = sys
+            .with_shards(self.shards)
+            .with_executor(self.executor)
+            .with_dag_mode(self.dag_mode);
         if let Some(q) = self.pab_quorum {
             sys = sys.with_pab_quorum(q);
         }
@@ -295,6 +309,10 @@ pub fn run(config: &ExperimentConfig) -> ExperimentResult {
         }
         Protocol::Narwhal => run_protocol(config, &sys, HotStuffEngine::new, NarwhalMempool::new),
         Protocol::MirBft => run_protocol(config, &sys, MirBftEngine::new, NativeMempool::new),
+        Protocol::DagHotStuff => run_protocol(config, &sys, HotStuffEngine::new, DagMempool::new),
+        Protocol::DagHotStuffFast => run_protocol(config, &sys, HotStuffEngine::new, |s, i| {
+            DagMempool::with_mode(s, i, DagMode::FastPath)
+        }),
     }
 }
 

@@ -15,11 +15,11 @@ use crate::wire::codec::{self, WireCodec};
 use crate::wire::{MempoolWire, ReplicaMsg};
 use simnet::{Node, Simulation, Telemetry};
 use smp_consensus::{ConsensusEngine, HotStuffEngine, MirBftEngine, PbftEngine, StreamletEngine};
-use smp_mempool::{GossipSmp, Mempool, NarwhalMempool, NativeMempool, SimpleSmp};
+use smp_mempool::{DagMempool, GossipSmp, Mempool, NarwhalMempool, NativeMempool, SimpleSmp};
 use smp_net::{spawn_admin, AdminState, ClusterSpec, NetRuntime, WireError, WireMsg};
 use smp_shard::ShardedMempool;
 use smp_telemetry::{FlightSampler, DEFAULT_WINDOW_CAPACITY};
-use smp_types::{ExecutorKind, ReplicaId, SystemConfig, TxId};
+use smp_types::{DagMode, ExecutorKind, ReplicaId, SystemConfig, TxId};
 use std::io;
 use std::net::SocketAddr;
 use stratus::StratusMempool;
@@ -206,6 +206,12 @@ fn dispatch<V: ProtocolVisitor>(config: &ExperimentConfig, sys: &SystemConfig, v
         }
         Protocol::Narwhal => visit_backend(config, v, HotStuffEngine::new, NarwhalMempool::new),
         Protocol::MirBft => visit_backend(config, v, MirBftEngine::new, NativeMempool::new),
+        Protocol::DagHotStuff => visit_backend(config, v, HotStuffEngine::new, DagMempool::new),
+        Protocol::DagHotStuffFast => {
+            visit_backend(config, v, HotStuffEngine::new, |s: &SystemConfig, i| {
+                DagMempool::with_mode(s, i, DagMode::FastPath)
+            })
+        }
     }
 }
 

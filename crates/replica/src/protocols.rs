@@ -24,6 +24,13 @@ pub enum Protocol {
     Narwhal,
     /// PBFT-based multi-leader protocol (MirBFT).
     MirBft,
+    /// HotStuff over the Mysticeti-style DAG mempool, certified mode
+    /// (D-HS): batches become proposable once their DAG support pattern
+    /// yields a 2f+1 ack certificate.
+    DagHotStuff,
+    /// D-HS in the uncertified fast-path mode (D-HS-F): batches are
+    /// proposable on first delivery, references carry no certificates.
+    DagHotStuffFast,
 }
 
 impl Protocol {
@@ -39,6 +46,8 @@ impl Protocol {
             Protocol::StratusStreamlet => "S-SL",
             Protocol::Narwhal => "Narwhal",
             Protocol::MirBft => "MirBFT",
+            Protocol::DagHotStuff => "D-HS",
+            Protocol::DagHotStuffFast => "D-HS-F",
         }
     }
 
@@ -54,6 +63,8 @@ impl Protocol {
             Protocol::StratusStreamlet => "Streamlet integrated with Stratus (this paper)",
             Protocol::Narwhal => "HotStuff based shared mempool with reliable broadcast",
             Protocol::MirBft => "PBFT based multi-leader protocol",
+            Protocol::DagHotStuff => "HotStuff over a Mysticeti-style DAG mempool (certified)",
+            Protocol::DagHotStuffFast => "HotStuff over a Mysticeti-style DAG mempool (fast path)",
         }
     }
 
@@ -99,7 +110,14 @@ impl Protocol {
             Protocol::StratusStreamlet,
             Protocol::Narwhal,
             Protocol::MirBft,
+            Protocol::DagHotStuff,
+            Protocol::DagHotStuffFast,
         ]
+    }
+
+    /// Whether the protocol runs over the DAG mempool family.
+    pub fn is_dag(&self) -> bool {
+        matches!(self, Protocol::DagHotStuff | Protocol::DagHotStuffFast)
     }
 }
 
@@ -125,6 +143,17 @@ mod tests {
     #[test]
     fn figure7_set_has_seven_protocols() {
         assert_eq!(Protocol::figure7_set().len(), 7);
-        assert_eq!(Protocol::all().len(), 9);
+        assert_eq!(Protocol::all().len(), 11);
+    }
+
+    #[test]
+    fn dag_protocols_are_shared_mempool_backends() {
+        assert_eq!(Protocol::DagHotStuff.label(), "D-HS");
+        assert_eq!(Protocol::DagHotStuffFast.label(), "D-HS-F");
+        assert!(Protocol::DagHotStuff.uses_shared_mempool());
+        assert!(Protocol::DagHotStuffFast.uses_shared_mempool());
+        assert!(!Protocol::DagHotStuff.is_stratus());
+        assert!(Protocol::DagHotStuff.is_dag() && Protocol::DagHotStuffFast.is_dag());
+        assert!(!Protocol::Narwhal.is_dag());
     }
 }

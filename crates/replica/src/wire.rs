@@ -11,7 +11,7 @@ pub mod codec;
 
 use simnet::SimMessage;
 use smp_consensus::ConsensusMsg;
-use smp_mempool::{NarwhalMsg, NativeMsg, SmpMsg};
+use smp_mempool::{DagMsg, NarwhalMsg, NativeMsg, SmpMsg};
 use smp_shard::ShardedMsg;
 use smp_types::{TxId, WireSize};
 use stratus::StratusMsg;
@@ -73,6 +73,32 @@ impl MempoolWire for NarwhalMsg {
             NarwhalMsg::Certificate { .. } => 90.0,
             NarwhalMsg::Fetch { .. } => 8.0,
             NarwhalMsg::FetchResp { mbs } => {
+                20.0 + 0.6 * mbs.iter().map(|m| m.len()).sum::<usize>() as f64
+            }
+        }
+    }
+}
+
+impl MempoolWire for DagMsg {
+    fn kind(&self) -> &'static str {
+        DagMsg::kind(self)
+    }
+    fn is_bulk(&self) -> bool {
+        matches!(
+            self,
+            DagMsg::Block(b) if b.batch.is_some()
+        ) || matches!(self, DagMsg::FetchResp { .. })
+    }
+    fn cpu_cost_us(&self) -> f64 {
+        match self {
+            // Block digest + creator signature check, per-ack signature
+            // verification, and per-transaction batch ingestion.
+            DagMsg::Block(b) => {
+                let batch = b.batch.as_ref().map_or(0, |mb| mb.len());
+                30.0 + 0.6 * batch as f64 + 60.0 * b.acks.len() as f64
+            }
+            DagMsg::Fetch { .. } => 8.0,
+            DagMsg::FetchResp { mbs } => {
                 20.0 + 0.6 * mbs.iter().map(|m| m.len()).sum::<usize>() as f64
             }
         }

@@ -33,7 +33,7 @@ use crate::wire::{MempoolWire, ReplicaMsg, ReplicaPayload, SyncMsg};
 use bytes::Bytes;
 use smp_consensus::ConsensusMsg;
 use smp_crypto::{Digest, QuorumProof, Signature};
-use smp_mempool::{NarwhalMsg, NativeMsg, SmpMsg};
+use smp_mempool::{DagAck, DagBlock, DagMsg, DagParentRef, NarwhalMsg, NativeMsg, SmpMsg};
 use smp_shard::ShardedMsg;
 use smp_types::{
     BlockId, ClientId, Microblock, MicroblockId, MicroblockRef, Payload, Proposal, ReplicaId,
@@ -759,6 +759,109 @@ impl WireCodec for NarwhalMsg {
             }),
             tag => Err(DecodeError::BadTag {
                 context: "NarwhalMsg",
+                tag,
+            }),
+        }
+    }
+}
+
+fn put_dag_block(buf: &mut Vec<u8>, b: &DagBlock) {
+    put_u32(buf, b.creator.0);
+    put_u64(buf, b.round);
+    put_u64(buf, b.seq);
+    match &b.batch {
+        Some(mb) => {
+            buf.push(1);
+            put_microblock(buf, mb);
+        }
+        None => buf.push(0),
+    }
+    put_u32(buf, b.parents.len() as u32);
+    for p in &b.parents {
+        put_u32(buf, p.creator.0);
+        put_u64(buf, p.round);
+    }
+    put_u32(buf, b.acks.len() as u32);
+    for a in &b.acks {
+        put_digest(buf, &a.id.0);
+        put_signature(buf, &a.sig);
+    }
+    put_signature(buf, &b.sig);
+}
+
+fn get_dag_block(r: &mut Reader<'_>) -> Result<DagBlock, DecodeError> {
+    let creator = ReplicaId(r.u32()?);
+    let round = r.u64()?;
+    let seq = r.u64()?;
+    // The batch id is re-derived by `get_microblock`'s re-seal, never
+    // trusted from the wire.
+    let batch = match r.u8()? {
+        0 => None,
+        1 => Some(get_microblock(r)?),
+        tag => {
+            return Err(DecodeError::BadTag {
+                context: "DagBlock.batch",
+                tag,
+            })
+        }
+    };
+    let n_parents = r.count(4 + 8)?;
+    let mut parents = Vec::new();
+    for _ in 0..n_parents {
+        parents.push(DagParentRef {
+            creator: ReplicaId(r.u32()?),
+            round: r.u64()?,
+        });
+    }
+    let n_acks = r.count(32 + 12)?;
+    let mut acks = Vec::new();
+    for _ in 0..n_acks {
+        acks.push(DagAck {
+            id: MicroblockId(r.digest()?),
+            sig: get_signature(r)?,
+        });
+    }
+    let sig = get_signature(r)?;
+    Ok(DagBlock {
+        creator,
+        round,
+        seq,
+        batch,
+        parents,
+        acks,
+        sig,
+    })
+}
+
+impl WireCodec for DagMsg {
+    fn encode_into(&self, buf: &mut Vec<u8>) {
+        match self {
+            DagMsg::Block(b) => {
+                buf.push(0);
+                put_dag_block(buf, b);
+            }
+            DagMsg::Fetch { ids } => {
+                buf.push(1);
+                put_mb_ids(buf, ids);
+            }
+            DagMsg::FetchResp { mbs } => {
+                buf.push(2);
+                put_microblocks(buf, mbs);
+            }
+        }
+    }
+
+    fn decode_from(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match r.u8()? {
+            0 => Ok(DagMsg::Block(get_dag_block(r)?)),
+            1 => Ok(DagMsg::Fetch {
+                ids: get_mb_ids(r)?,
+            }),
+            2 => Ok(DagMsg::FetchResp {
+                mbs: get_microblocks(r)?,
+            }),
+            tag => Err(DecodeError::BadTag {
+                context: "DagMsg",
                 tag,
             }),
         }

@@ -15,7 +15,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 use smp_consensus::ConsensusMsg;
 use smp_crypto::{Digest, QuorumProof, Signature};
-use smp_mempool::{NarwhalMsg, NativeMsg, SmpMsg};
+use smp_mempool::{DagAck, DagBlock, DagMsg, DagParentRef, NarwhalMsg, NativeMsg, SmpMsg};
 use smp_replica::wire::codec::{
     decode_frame, encode_frame, DecodeError, WireCodec, CODEC_VERSION, FRAME_HEADER_BYTES,
     MAX_FRAME_BYTES,
@@ -202,6 +202,47 @@ fn arb_narwhal() -> impl Strategy<Value = NarwhalMsg> {
     ]
 }
 
+/// DAG blocks as they appear on the wire: an optional batch, parent
+/// references, piggybacked acks, and the creator signature.  The decoder
+/// re-derives the batch id, so the generator seals canonically.
+fn arb_dag_block() -> impl Strategy<Value = DagBlock> {
+    (
+        (any::<u32>(), any::<u64>(), any::<u64>()),
+        proptest::option::of(arb_microblock()),
+        vec((any::<u32>(), any::<u64>()), 0..5),
+        vec((arb_mb_id(), arb_signature()), 0..5),
+        arb_signature(),
+    )
+        .prop_map(
+            |((creator, round, seq), batch, parents, acks, sig)| DagBlock {
+                creator: ReplicaId(creator),
+                round,
+                seq,
+                batch,
+                parents: parents
+                    .into_iter()
+                    .map(|(c, r)| DagParentRef {
+                        creator: ReplicaId(c),
+                        round: r,
+                    })
+                    .collect(),
+                acks: acks
+                    .into_iter()
+                    .map(|(id, sig)| DagAck { id, sig })
+                    .collect(),
+                sig,
+            },
+        )
+}
+
+fn arb_dag() -> impl Strategy<Value = DagMsg> {
+    prop_oneof![
+        arb_dag_block().prop_map(DagMsg::Block),
+        vec(arb_mb_id(), 0..6).prop_map(|ids| DagMsg::Fetch { ids }),
+        vec(arb_microblock(), 0..3).prop_map(|mbs| DagMsg::FetchResp { mbs }),
+    ]
+}
+
 fn arb_stratus() -> impl Strategy<Value = StratusMsg> {
     prop_oneof![
         arb_microblock().prop_map(StratusMsg::PabMsg),
@@ -305,6 +346,19 @@ proptest! {
     }
 
     #[test]
+    fn dag_frames_round_trip(msg in arb_replica_msg(arb_dag())) {
+        assert_round_trip(&msg);
+    }
+
+    #[test]
+    fn sharded_dag_frames_round_trip(
+        msg in arb_replica_msg((any::<u16>(), arb_dag())
+            .prop_map(|(s, m)| ShardedMsg::new(s, m)))
+    ) {
+        assert_round_trip(&msg);
+    }
+
+    #[test]
     fn sharded_stratus_frames_round_trip(
         msg in arb_replica_msg((any::<u16>(), arb_stratus())
             .prop_map(|(s, m)| ShardedMsg::new(s, m)))
@@ -344,6 +398,72 @@ proptest! {
     fn garbage_never_panics(input in vec(any::<u8>(), 0..512)) {
         let _ = decode_frame::<StratusMsg>(&input);
         let _ = decode_frame::<ShardedMsg<StratusMsg>>(&input);
+        let _ = decode_frame::<DagMsg>(&input);
+        let _ = decode_frame::<ShardedMsg<DagMsg>>(&input);
+    }
+
+    // Any strict prefix of a valid DAG frame is `Truncated`, sharded or
+    // not — hostile parent/ack length prefixes cannot over-read.
+    #[test]
+    fn truncated_dag_frames_are_rejected(
+        msg in arb_replica_msg(arb_dag()),
+        frac in 0.0f64..1.0,
+    ) {
+        let frame = encode_frame(&msg);
+        let cut = ((frame.len() as f64) * frac) as usize;
+        prop_assume!(cut < frame.len());
+        prop_assert!(matches!(
+            decode_frame::<DagMsg>(&frame[..cut]),
+            Err(DecodeError::Truncated { .. })
+        ));
+        let sharded = encode_frame(&ReplicaMsg::mempool(
+            ShardedMsg::new(3, match msg.payload {
+                ReplicaPayload::Mempool(ref m) => m.clone(),
+                _ => DagMsg::Fetch { ids: vec![] },
+            }),
+            msg.priority,
+        ));
+        let cut = ((sharded.len() as f64) * frac) as usize;
+        prop_assume!(cut < sharded.len());
+        prop_assert!(matches!(
+            decode_frame::<ShardedMsg<DagMsg>>(&sharded[..cut]),
+            Err(DecodeError::Truncated { .. })
+        ));
+    }
+
+    // Flipping any single byte of a DAG frame either still decodes or
+    // errors; it never panics.
+    #[test]
+    fn corrupted_dag_frames_never_panic(
+        msg in arb_replica_msg(arb_dag()),
+        pos_frac in 0.0f64..1.0,
+        flip in 1u8..=255,
+    ) {
+        let mut frame = encode_frame(&msg);
+        let pos = ((frame.len() as f64) * pos_frac) as usize % frame.len();
+        frame[pos] ^= flip;
+        let _ = decode_frame::<DagMsg>(&frame);
+    }
+
+    // A batch-presence byte other than 0/1 is a `BadTag`, not a panic or
+    // a silent skip.
+    #[test]
+    fn bad_dag_batch_presence_tags_are_rejected(
+        block in arb_dag_block(),
+        bad in 2u8..=255,
+    ) {
+        let mut block = block;
+        block.batch = None;
+        let frame = encode_frame(&ReplicaMsg::mempool(DagMsg::Block(block), false));
+        // Body layout: family tag, variant tag, creator u32, round u64,
+        // seq u64, then the batch-presence byte.
+        let pos = FRAME_HEADER_BYTES + 1 + 1 + 4 + 8 + 8;
+        let mut frame = frame;
+        frame[pos] = bad;
+        prop_assert!(matches!(
+            decode_frame::<DagMsg>(&frame),
+            Err(DecodeError::BadTag { context: "DagBlock.batch", .. })
+        ));
     }
 
     // Corrupting any byte of a sync frame either still decodes or

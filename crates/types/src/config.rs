@@ -113,6 +113,47 @@ impl std::str::FromStr for ExecutorKind {
     }
 }
 
+/// Commit-derivation mode of the DAG mempool (`smp-dag`, the D-HS rows).
+///
+/// Both modes share the same DAG: blocks are consistently broadcast,
+/// acks piggyback on later blocks, and a batch's *support pattern* is the
+/// set of distinct replicas whose blocks acknowledged it.  The mode only
+/// decides when a batch becomes proposable and what its reference proves.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DagMode {
+    /// Narwhal-strength availability: a batch becomes proposable only
+    /// once `2f + 1` distinct acks form a certificate, which is embedded
+    /// in the proposal reference and re-verified by every replica.
+    #[default]
+    Certified,
+    /// Uncertified fast path (Mysticeti-style): a batch is proposable on
+    /// first delivery; references carry no proof and replicas that miss
+    /// the data must fetch it before consensus proceeds.
+    FastPath,
+}
+
+impl DagMode {
+    /// Stable label for reporting.
+    pub fn label(&self) -> &'static str {
+        match self {
+            DagMode::Certified => "certified",
+            DagMode::FastPath => "fast-path",
+        }
+    }
+}
+
+impl std::str::FromStr for DagMode {
+    type Err = ();
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "certified" | "cert" => Ok(DagMode::Certified),
+            "fast-path" | "fastpath" | "fast" => Ok(DagMode::FastPath),
+            _ => Err(()),
+        }
+    }
+}
+
 /// Batching parameters of the mempool (Figure 6).
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
 pub struct MempoolConfig {
@@ -180,6 +221,9 @@ pub struct SystemConfig {
     /// (sequential) or on one worker thread each (parallel).  Irrelevant
     /// when `shards == 1`.
     pub executor: ExecutorKind,
+    /// Commit-derivation mode of the DAG mempool (ignored by every other
+    /// backend).
+    pub dag_mode: DagMode,
 }
 
 impl SystemConfig {
@@ -201,6 +245,7 @@ impl SystemConfig {
             view_change_timeout: 1_000 * MICROS_PER_MS,
             shards: 1,
             executor: ExecutorKind::Sequential,
+            dag_mode: DagMode::default(),
         }
     }
 
@@ -238,6 +283,12 @@ impl SystemConfig {
     /// Sets the mempool batching parameters.
     pub fn with_mempool(mut self, mempool: MempoolConfig) -> Self {
         self.mempool = mempool;
+        self
+    }
+
+    /// Sets the DAG mempool commit-derivation mode.
+    pub fn with_dag_mode(mut self, dag_mode: DagMode) -> Self {
+        self.dag_mode = dag_mode;
         self
     }
 
@@ -332,6 +383,18 @@ mod tests {
         assert_eq!(ExecutorKind::Parallel.label(), "parallel");
         let c = SystemConfig::new(4).with_executor(ExecutorKind::Parallel);
         assert_eq!(c.executor, ExecutorKind::Parallel);
+    }
+
+    #[test]
+    fn dag_mode_parses_and_defaults() {
+        assert_eq!("certified".parse(), Ok(DagMode::Certified));
+        assert_eq!("FAST".parse(), Ok(DagMode::FastPath));
+        assert_eq!(" fast-path ".parse(), Ok(DagMode::FastPath));
+        assert_eq!("bogus".parse::<DagMode>(), Err(()));
+        assert_eq!(DagMode::default(), DagMode::Certified);
+        assert_eq!(DagMode::FastPath.label(), "fast-path");
+        let c = SystemConfig::new(4).with_dag_mode(DagMode::FastPath);
+        assert_eq!(c.dag_mode, DagMode::FastPath);
     }
 
     #[test]

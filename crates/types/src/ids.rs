@@ -60,10 +60,30 @@ impl TxId {
 )]
 pub struct MicroblockId(pub Digest);
 
+thread_local! {
+    static MB_ID_DERIVATIONS: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Number of payload-proportional microblock-id derivations performed on
+/// this thread so far.
+///
+/// [`MicroblockId::derive`] is the only hash whose cost scales with batch
+/// size, and the dissemination planes are built so it runs exactly once
+/// per payload — at [`Microblock::seal`](crate::Microblock::seal) on the
+/// creator, and once more at the codec boundary when a body crosses a real
+/// socket (the decoder deliberately re-derives rather than trusting the
+/// wire).  Regression tests diff this counter around a full
+/// seal→gossip→fill→commit flow to prove the gossip/fill path never
+/// re-hashes a payload.
+pub fn mb_id_derivations() -> u64 {
+    MB_ID_DERIVATIONS.with(|c| c.get())
+}
+
 impl MicroblockId {
     /// Derives a microblock id from the ids of the transactions it contains
     /// and its creator, as described in Section III-D of the paper.
     pub fn derive(creator: ReplicaId, tx_ids: &[TxId]) -> Self {
+        MB_ID_DERIVATIONS.with(|c| c.set(c.get() + 1));
         let mut h = smp_crypto::Hasher::with_domain(0x4d42_4944); // "MBID"
         h.update_u64(creator.0 as u64);
         for tx in tx_ids {

@@ -41,7 +41,7 @@ pub use stratus;
 pub mod prelude {
     pub use simnet::{FaultWindow, NetConfig, Simulation};
     pub use smp_consensus::{ConsensusEngine, HotStuffEngine, PbftEngine, StreamletEngine};
-    pub use smp_mempool::{Mempool, MempoolEvent, SimpleSmp};
+    pub use smp_mempool::{DagMempool, Mempool, MempoolEvent, SimpleSmp};
     pub use smp_metrics::RunSummary;
     pub use smp_replica::experiment::run as run_experiment;
     pub use smp_replica::{
@@ -53,8 +53,8 @@ pub mod prelude {
     };
     pub use smp_telemetry::Telemetry;
     pub use smp_types::{
-        ExecutorKind, MempoolConfig, NetworkPreset, Payload, Proposal, ReplicaId, SystemConfig,
-        Transaction, View,
+        DagMode, ExecutorKind, MempoolConfig, NetworkPreset, Payload, Proposal, ReplicaId,
+        SystemConfig, Transaction, View,
     };
     pub use smp_workload::{LoadDistribution, WorkloadSpec};
     pub use stratus::{DlbConfig, ShardLoadCoordinator, StratusConfig, StratusMempool};

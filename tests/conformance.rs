@@ -145,7 +145,7 @@ proptest! {
         seed in any::<u64>(),
         rate in 500f64..6_000.0,
         k in 1usize..5,
-        protocol_index in 0usize..9,
+        protocol_index in 0usize..11,
     ) {
         let protocol = Protocol::all()[protocol_index];
         let mut base = quick(protocol, 4, rate);
